@@ -1,0 +1,33 @@
+"""Bench E-F13: regenerate Figure 13 (top-K% threshold sensitivity).
+
+Shape checks: Recall@K is monotone non-decreasing in K (more flagged →
+at least as many true outliers caught) and precision and recall cross in
+the vicinity of the true outlier ratio, which is the figure's message:
+"choosing the outlier ratio as K is a good choice"."""
+
+import numpy as np
+
+from repro.experiments import figure_13
+
+
+def test_figure13(benchmark, bench_budget, save_artifact):
+    result = benchmark.pedantic(
+        lambda: figure_13(budget=bench_budget, seed=0,
+                          datasets=("ecg", "smap"),
+                          k_values=(1, 2, 3, 5, 8, 10, 12, 15, 20)),
+        rounds=1, iterations=1)
+    save_artifact("figure13", result.rendering)
+
+    for dataset_name, data in result.data.items():
+        ks = np.array(data["k"], dtype=float)
+        recall = np.array(data["Recall@K"])
+        precision = np.array(data["Precision@K"])
+        f1 = np.array(data["F1@K"])
+        assert np.all(np.diff(recall) >= -1e-12), \
+            f"{dataset_name}: recall not monotone {recall}"
+        assert np.all((0 <= precision) & (precision <= 1))
+        # F1 should peak near the true outlier ratio, not at the extremes.
+        true_ratio = data["true_ratio_percent"]
+        best_k = ks[int(np.argmax(f1))]
+        assert abs(best_k - true_ratio) <= max(6.0, 0.75 * true_ratio), \
+            f"{dataset_name}: best K {best_k} vs true ratio {true_ratio}"

@@ -1,0 +1,31 @@
+"""Bench E-F14: regenerate Figure 14 (unsupervised β / λ selection).
+
+Shape checks: every candidate records a positive validation reconstruction
+error, the curves are error-ordered, and the median pick is never the
+worst candidate by PR (the paper's argument: the median rule is "balanced
+between the best and worst cases")."""
+
+import numpy as np
+
+from repro.experiments import figure_14
+
+
+def test_figure14(benchmark, bench_budget, save_artifact):
+    result = benchmark.pedantic(
+        lambda: figure_14(budget=bench_budget, seed=0, datasets=("ecg",),
+                          beta_values=(0.1, 0.5, 0.9),
+                          lambda_values=(1.0, 8.0, 64.0)),
+        rounds=1, iterations=1)
+    save_artifact("figure14", result.rendering)
+
+    for parameter in ("beta", "lambda"):
+        sweep = result.data["ecg"][parameter]
+        records = sweep["records"]
+        errors = [r["reconstruction_error"] for r in records]
+        assert all(e > 0 for e in errors)
+        assert errors == sorted(errors)            # error-ordered
+        pr_values = [r["pr"] for r in records]
+        median_pr = records[sweep["median_index"]]["pr"]
+        assert median_pr >= min(pr_values), parameter
+        # The median pick must be a real candidate value.
+        assert sweep["median_value"] in [r["value"] for r in records]

@@ -1,0 +1,24 @@
+"""Bench E-F15: regenerate Figure 15 (window-size selection).
+
+Shape checks mirror Figure 14: error-ordered candidates, median pick valid
+and not the PR-worst choice."""
+
+from repro.experiments import figure_15
+
+
+def test_figure15(benchmark, bench_budget, save_artifact):
+    result = benchmark.pedantic(
+        lambda: figure_15(budget=bench_budget, seed=0, datasets=("ecg",),
+                          window_values=(4, 8, 16, 32)),
+        rounds=1, iterations=1)
+    save_artifact("figure15", result.rendering)
+
+    data = result.data["ecg"]
+    records = data["records"]
+    assert len(records) >= 3
+    errors = [r["reconstruction_error"] for r in records]
+    assert errors == sorted(errors)
+    pr_values = [r["pr"] for r in records]
+    median_pr = records[data["median_index"]]["pr"]
+    assert median_pr >= min(pr_values)
+    assert data["median_value"] in [r["value"] for r in records]

@@ -1,0 +1,25 @@
+"""Bench E-F17: regenerate Figure 17 (kernel-size insensitivity).
+
+Shape check — the figure's claim: accuracy is insensitive to the kernel
+size.  The PR and ROC spread across kernel sizes must stay small relative
+to the metric's level."""
+
+import numpy as np
+
+from repro.experiments import figure_17
+
+
+def test_figure17(benchmark, bench_budget, save_artifact):
+    result = benchmark.pedantic(
+        lambda: figure_17(budget=bench_budget, seed=0, datasets=("ecg",),
+                          kernel_sizes=(3, 5, 7, 9)),
+        rounds=1, iterations=1)
+    save_artifact("figure17", result.rendering)
+
+    data = result.data["ecg"]
+    for metric in ("PR", "ROC"):
+        values = np.array(data[metric])
+        assert len(values) == 4
+        spread = values.max() - values.min()
+        assert spread <= 0.25, \
+            f"{metric} too sensitive to kernel size: {values}"

@@ -1,0 +1,27 @@
+"""Bench E-T4: regenerate Table 4 (SMAP / WADI + overall averages).
+
+Shape checks: CAE-Ensemble leads the overall PR ranking (the paper's
+headline: best overall Precision, F1, PR and ROC), and WADI shows the
+interval-label recall cap discussed in Section 4.2.1.
+"""
+
+from repro.experiments import table_4
+
+
+def test_table4(benchmark, bench_budget, save_artifact):
+    result = benchmark.pedantic(
+        lambda: table_4(budget=bench_budget, seed=0), rounds=1, iterations=1)
+    save_artifact("table4", result.rendering)
+
+    overall = result.data["overall"]
+    assert len(overall) == 12
+    pr = {model: report.pr_auc for model, report in overall.items()}
+    ranked = sorted(pr, key=pr.get, reverse=True)
+    # Paper: CAE-Ensemble wins overall PR; allow top-3 under bench budget.
+    assert ranked.index("CAE-Ensemble") < 3, f"overall PR ranking: {ranked}"
+    assert pr["CAE-Ensemble"] > pr["RAE-Ensemble"]
+
+    # WADI: whole intervals are labelled but only a short core deviates, so
+    # recall at the best-F1 threshold stays structurally limited.
+    wadi = result.data["results"]["wadi"]["CAE-Ensemble"].report
+    assert wadi.recall < 0.9

@@ -1,0 +1,72 @@
+"""Time-series cleaning: detect outliers, then repair them.
+
+The paper's conclusion proposes "unsupervised time series cleaning by
+repairing detected outliers" as future work; this example runs that
+pipeline with the :mod:`repro.core.repair` extension:
+
+1. corrupt a clean signal with spikes (so we can measure repair quality),
+2. train CAE-Ensemble on (separate) clean history,
+3. detect and repair — flagged observations are replaced by the
+   ensemble's median reconstruction,
+4. compare RMSE-to-truth before and after, against a linear-interpolation
+   baseline repair.
+
+Usage::
+
+    python examples/outlier_repair.py
+"""
+
+import numpy as np
+
+from repro.core import (CAEConfig, CAEEnsemble, EnsembleConfig,
+                        estimate_outlier_ratio, repair_quality,
+                        repair_series)
+
+
+def make_signal(length, seed):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    series = np.stack([np.sin(2 * np.pi * t / 30),
+                       np.cos(2 * np.pi * t / 47),
+                       np.sin(2 * np.pi * t / 75 + 1.0)], axis=1)
+    return series + 0.04 * rng.standard_normal(series.shape)
+
+
+def main() -> None:
+    history = make_signal(800, seed=1)       # clean training history
+    clean = make_signal(600, seed=2)         # ground truth for evaluation
+    rng = np.random.default_rng(3)
+    corrupted = clean.copy()
+    positions = rng.choice(np.arange(20, 580), size=20, replace=False)
+    for position in positions:
+        dim = int(rng.integers(3))
+        corrupted[position, dim] += rng.choice([-1.0, 1.0]) * 4.0
+    print(f"Corrupted {positions.size} of {clean.shape[0]} observations")
+
+    model = CAEEnsemble(
+        CAEConfig(input_dim=3, embed_dim=24, window=16, n_layers=2),
+        EnsembleConfig(n_models=3, epochs_per_model=3,
+                       diversity_weight=2.0, transfer_fraction=0.5,
+                       seed=0))
+    print("Training on clean history ...")
+    model.fit(history)
+
+    # No one tells us the contamination level — estimate it from scores.
+    scores = model.score(corrupted)
+    estimated_ratio = estimate_outlier_ratio(scores)
+    print(f"Estimated outlier ratio: {estimated_ratio:.2%} "
+          f"(true: {positions.size / clean.shape[0]:.2%})")
+
+    for policy in ("reconstruction", "interpolation"):
+        result = repair_series(model, corrupted, ratio=estimated_ratio,
+                               policy=policy)
+        quality = repair_quality(clean, corrupted, result.repaired)
+        print(f"\nPolicy {policy!r}: repaired {result.n_repaired} "
+              f"observations")
+        print(f"  RMSE vs truth: corrupted {quality['rmse_corrupted']:.4f} "
+              f"-> repaired {quality['rmse_repaired']:.4f} "
+              f"({quality['improvement']:.1f}x better)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: detect outliers in an ECG series with CAE-Ensemble.
+
+Runs in well under a minute on CPU.  Demonstrates the core public API:
+
+1. load a dataset (a synthetic stand-in for the paper's ECG corpus),
+2. configure and train a small diversity-driven ensemble,
+3. score every observation and flag the top ones as outliers,
+4. evaluate against the (test-only) ground-truth labels.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig
+from repro.datasets import load_dataset
+from repro.metrics import accuracy_report
+
+
+def main() -> None:
+    dataset = load_dataset("ecg", scale=0.5)
+    print(f"Dataset: {dataset.name} — {dataset.train.shape[0]} observations, "
+          f"{dataset.dims} dimensions, "
+          f"{dataset.outlier_ratio:.1%} labelled outliers in the test set")
+
+    # A small configuration that trains in seconds; paper_config() gives
+    # the published setting (D' = 256, 10 layers, 8 models).
+    cae_config = CAEConfig(input_dim=dataset.dims, embed_dim=32, window=16,
+                           n_layers=2)
+    ensemble_config = EnsembleConfig(n_models=3, epochs_per_model=3,
+                                     diversity_weight=2.0,      # λ (Table 2)
+                                     transfer_fraction=0.5,     # β (Table 2)
+                                     seed=0)
+    model = CAEEnsemble(cae_config, ensemble_config)
+
+    print("Training", ensemble_config.n_models, "basic models ...")
+    model.fit(dataset.train)
+    print(f"Trained in {model.train_seconds_:.1f}s; "
+          f"final reconstruction loss "
+          f"{model.history[-1].reconstruction:.4f}")
+
+    scores = model.score(dataset.test)
+    report = accuracy_report(dataset.test_labels, scores)
+    print("\nAccuracy vs ground truth (best-F1 threshold):")
+    for metric, value in report.as_dict().items():
+        print(f"  {metric:>9s}: {value:.4f}")
+
+    # Flag outliers using the known outlier ratio as the threshold rule
+    # (Figure 13 shows this is a good choice when the ratio is known).
+    predictions = model.detect(dataset.test, ratio=dataset.outlier_ratio)
+    flagged = np.flatnonzero(predictions)
+    print(f"\nFlagged {flagged.size} observations; first ten indices: "
+          f"{flagged[:10].tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Server-fleet monitoring: CAE-Ensemble vs classic detectors on SMD-like
+metrics.
+
+The paper's SMD experiments motivate outlier detection on server machine
+metrics (CPU, memory, I/O, network — 38 correlated dimensions).  This
+example trains the diversity-driven ensemble on a window of normal
+operation, then compares it against Isolation Forest and Moving Average
+Smoothing on a test window containing injected incidents, and finally
+groups the flagged observations into incident reports.
+
+Usage::
+
+    python examples/server_monitoring.py
+"""
+
+import numpy as np
+
+from repro.baselines import (CAEEnsembleDetector, IsolationForest,
+                             MovingAverageSmoothing)
+from repro.datasets import load_dataset
+from repro.metrics import accuracy_report
+
+
+def incidents_from_flags(flags: np.ndarray, merge_gap: int = 5):
+    """Merge consecutive flagged observations into incident intervals."""
+    incidents = []
+    start = None
+    last = None
+    for index in np.flatnonzero(flags):
+        if start is None:
+            start = last = int(index)
+        elif index - last <= merge_gap:
+            last = int(index)
+        else:
+            incidents.append((start, last))
+            start = last = int(index)
+    if start is not None:
+        incidents.append((start, last))
+    return incidents
+
+
+def main() -> None:
+    dataset = load_dataset("smd", scale=0.5)
+    print(f"Server metrics: {dataset.dims} dimensions, "
+          f"{dataset.train.shape[0]} training / {dataset.test.shape[0]} "
+          f"test observations")
+
+    detectors = {
+        "CAE-Ensemble": CAEEnsembleDetector(
+            window=32, embed_dim=32, n_layers=2, n_models=3,
+            epochs_per_model=3, diversity_weight=32.0,   # Table 2: SMD
+            transfer_fraction=0.2, seed=0),
+        "IsolationForest": IsolationForest(seed=0),
+        "MovingAverage": MovingAverageSmoothing(window=32),
+    }
+
+    reports = {}
+    scores = {}
+    for name, detector in detectors.items():
+        print(f"\nFitting {name} ...")
+        scores[name] = detector.fit_score(dataset.train, dataset.test)
+        reports[name] = accuracy_report(dataset.test_labels, scores[name])
+
+    print(f"\n{'Detector':<16} {'Precision':>9} {'Recall':>9} {'F1':>9} "
+          f"{'PR-AUC':>9} {'ROC-AUC':>9}")
+    for name, report in reports.items():
+        print(f"{name:<16} {report.precision:>9.4f} {report.recall:>9.4f} "
+              f"{report.f1:>9.4f} {report.pr_auc:>9.4f} "
+              f"{report.roc_auc:>9.4f}")
+
+    # Turn the best detector's flags into operator-facing incidents.
+    best = max(reports, key=lambda name: reports[name].pr_auc)
+    from repro.metrics import top_k_threshold
+    threshold = top_k_threshold(scores[best],
+                                dataset.outlier_ratio * 100.0)
+    flags = scores[best] > threshold
+    incidents = incidents_from_flags(flags)
+    print(f"\n{best} incident report ({len(incidents)} incidents):")
+    for start, stop in incidents[:8]:
+        peak = float(scores[best][start:stop + 1].max())
+        print(f"  observations {start:>5d}-{stop:<5d} peak score "
+              f"{peak:.2f}")
+    if len(incidents) > 8:
+        print(f"  ... and {len(incidents) - 8} more")
+
+
+if __name__ == "__main__":
+    main()

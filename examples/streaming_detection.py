@@ -1,0 +1,91 @@
+"""Streaming outlier detection: score observations one at a time.
+
+The paper's Table 8 argues CAE-Ensemble supports online settings: training
+happens offline, and each arriving observation is scored by one forward
+pass over the window ending at it (~tens of microseconds on the authors'
+GPUs).  This example replays a telemetry stream, keeps a rolling window
+and scores each arrival with :meth:`CAEEnsemble.score_window`.
+
+The alert threshold is calibrated *on the stream itself* during a burn-in
+period (no labels involved): the detector watches quietly for a while,
+then alerts above ``median + k·MAD`` of the burn-in scores.  The median /
+MAD pair is robust to outliers that slip into the burn-in window, and
+calibrating on live traffic absorbs the train→test distribution shift
+that plagues thresholds derived from training scores.
+
+Usage::
+
+    python examples/streaming_detection.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("smd", scale=0.3)
+    window = 16
+    burn_in = 150
+    model = CAEEnsemble(
+        CAEConfig(input_dim=dataset.dims, embed_dim=24, window=window,
+                  n_layers=2),
+        EnsembleConfig(n_models=3, epochs_per_model=2,
+                       diversity_weight=32.0, transfer_fraction=0.2,
+                       seed=0))
+    print("Offline training ...")
+    model.fit(dataset.train)
+    print(f"  done in {model.train_seconds_:.1f}s")
+
+    stream = dataset.test[:800]
+    labels = dataset.test_labels[:800]
+    buffer = list(dataset.train[-(window - 1):])   # warm rolling window
+    burn_in_scores = []
+    threshold = None
+    alerts = []
+    latencies = []
+    for t, observation in enumerate(stream):
+        buffer.append(observation)
+        if len(buffer) > window:
+            buffer.pop(0)
+        if len(buffer) < window:
+            continue
+        start = time.perf_counter()
+        score = model.score_window(np.asarray(buffer))
+        latencies.append(time.perf_counter() - start)
+        if t < burn_in:
+            burn_in_scores.append(score)
+            continue
+        if threshold is None:
+            # Robust calibration: median + 8 MAD of quiet(ish) operation.
+            median = float(np.median(burn_in_scores))
+            mad = float(np.median(np.abs(np.asarray(burn_in_scores) -
+                                         median)))
+            threshold = median + 8.0 * mad
+            print(f"Burn-in complete after {burn_in} observations; "
+                  f"alert threshold {threshold:.2f} "
+                  f"(median {median:.2f} + 8 x MAD {mad:.2f})")
+        if score > threshold:
+            alerts.append((t, score, bool(labels[t])))
+
+    hits = sum(1 for _, _, is_true in alerts if is_true)
+    evaluated = len(stream) - burn_in
+    outliers_seen = int(labels[burn_in:].sum())
+    print(f"\nProcessed {evaluated} post-burn-in observations "
+          f"({outliers_seen} labelled outliers), raised {len(alerts)} "
+          f"alerts ({hits} on labelled outliers)")
+    print("First alerts:")
+    for t, score, is_true in alerts[:8]:
+        marker = "TRUE OUTLIER" if is_true else "false alarm"
+        print(f"  t={t:<4d} score={score:10.3f}  [{marker}]")
+    print(f"\nPer-observation latency: median "
+          f"{np.median(latencies) * 1000:.2f} ms, "
+          f"p95 {np.percentile(latencies, 95) * 1000:.2f} ms "
+          f"(Table 8 reports ~0.05 ms on dual TITAN RTX)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of "Unsupervised Time Series Outlier Detection with
+Diversity-Driven Convolutional Ensembles" (Campos et al., PVLDB 2022).
+
+Package layout
+--------------
+``repro.nn``          from-scratch NumPy autograd / layers / optimisers
+``repro.datasets``    synthetic stand-ins for ECG/SMD/MSL/SMAP/WADI,
+                      windowing, pre-processing
+``repro.core``        the paper's contribution: CAE, CAE-Ensemble,
+                      diversity-driven training, unsupervised tuning
+``repro.baselines``   the twelve-detector comparison line-up
+``repro.metrics``     PR/ROC AUC, best-F1 and top-K thresholds
+``repro.experiments`` harness regenerating Tables 3-8 and Figures 13-17
+
+Quickstart
+----------
+>>> from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig
+>>> from repro.datasets import load_dataset
+>>> dataset = load_dataset("ecg")
+>>> model = CAEEnsemble(CAEConfig(input_dim=dataset.dims),
+...                     EnsembleConfig(n_models=3, epochs_per_model=3))
+>>> scores = model.fit(dataset.train).score(dataset.test)
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, core, datasets, experiments, metrics, nn
+
+__all__ = ["baselines", "core", "datasets", "experiments", "metrics", "nn",
+           "__version__"]

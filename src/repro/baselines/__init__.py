@@ -1,0 +1,48 @@
+"""``repro.baselines`` — every comparison method of Section 4.1.2, plus the
+adapters exposing CAE / CAE-Ensemble through the same interface.
+
+``DETECTOR_FACTORIES`` maps the paper's model names to zero-config
+constructors scaled for CPU execution; the experiment harness uses it to
+assemble the Tables 3-4 line-up.
+"""
+
+from typing import Callable, Dict
+
+from .ae_ensemble import AEEnsemble, FeedForwardAutoencoder, MaskedLinear
+from .base import OutlierDetector, WindowedDetector
+from .cae_detectors import CAEDetector, CAEEnsembleDetector
+from .isolation_forest import IsolationForest, average_path_length
+from .lof import LocalOutlierFactor
+from .mas import MovingAverageSmoothing
+from .mscred import MSCRED, block_average, signature_matrices
+from .ocsvm import OneClassSVM, rbf_kernel
+from .omnianomaly import OmniAnomaly
+from .rae import RAE, RecurrentAutoencoder
+from .rae_ensemble import RAEEnsemble
+from .rnnvae import RNNVAE
+
+#: Paper-order line-up for the accuracy tables (Section 4.2.1).
+DETECTOR_FACTORIES: Dict[str, Callable[..., OutlierDetector]] = {
+    "ISF": IsolationForest,
+    "LOF": LocalOutlierFactor,
+    "MAS": MovingAverageSmoothing,
+    "OCSVM": OneClassSVM,
+    "MSCRED": MSCRED,
+    "OMNIANOMALY": OmniAnomaly,
+    "RNNVAE": RNNVAE,
+    "AE-Ensemble": AEEnsemble,
+    "RAE": RAE,
+    "RAE-Ensemble": RAEEnsemble,
+    "CAE": CAEDetector,
+    "CAE-Ensemble": CAEEnsembleDetector,
+}
+
+__all__ = [
+    "AEEnsemble", "CAEDetector", "CAEEnsembleDetector",
+    "DETECTOR_FACTORIES", "FeedForwardAutoencoder", "IsolationForest",
+    "LocalOutlierFactor", "MSCRED", "MaskedLinear", "MovingAverageSmoothing",
+    "OmniAnomaly", "OneClassSVM", "OutlierDetector", "RAE", "RAEEnsemble",
+    "RNNVAE", "RecurrentAutoencoder", "WindowedDetector",
+    "average_path_length", "block_average", "rbf_kernel",
+    "signature_matrices",
+]

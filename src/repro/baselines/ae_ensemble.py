@@ -1,0 +1,117 @@
+"""AE-Ensemble baseline (Chen, Sathe, Aggarwal & Turaga, SDM 2017).
+
+An ensemble of feed-forward autoencoders over *flattened* windows, where
+each basic model has a random 20 % of its connections removed (Section 2,
+Table 1: no temporal modelling, implicit diversity through random
+structure).  Median aggregation of reconstruction errors, as in the
+original RandNet design.
+
+Connection removal is implemented with fixed binary masks applied to the
+weight matrices during the forward pass, so masked connections stay exactly
+zero throughout training.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, no_grad
+from ..nn.functional import mse_loss
+from .base import WindowedDetector
+from .training import train_reconstruction_model
+
+
+class MaskedLinear(Module):
+    """Linear layer whose weight is element-wise masked (sparse topology)."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 drop_probability: float, rng: np.random.Generator):
+        super().__init__()
+        self.inner = Linear(in_features, out_features, rng)
+        keep = rng.random((out_features, in_features)) >= drop_probability
+        # Guarantee every output unit keeps at least one incoming weight.
+        dead = ~keep.any(axis=1)
+        if dead.any():
+            keep[dead, rng.integers(0, in_features, size=int(dead.sum()))] = True
+        self._mask = keep.astype(np.float64)
+
+    def forward(self, x: Tensor) -> Tensor:
+        masked_weight = self.inner.weight * Tensor(self._mask)
+        out = x @ masked_weight.T
+        if self.inner.bias is not None:
+            out = out + self.inner.bias
+        return out
+
+
+class FeedForwardAutoencoder(Module):
+    """Symmetric sparse MLP autoencoder over flattened windows."""
+
+    def __init__(self, input_size: int, hidden_size: int, latent_size: int,
+                 drop_probability: float, rng: np.random.Generator):
+        super().__init__()
+        self.enc1 = MaskedLinear(input_size, hidden_size, drop_probability, rng)
+        self.enc2 = MaskedLinear(hidden_size, latent_size, drop_probability, rng)
+        self.dec1 = MaskedLinear(latent_size, hidden_size, drop_probability, rng)
+        self.dec2 = MaskedLinear(hidden_size, input_size, drop_probability, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.enc1(x).tanh()
+        latent = self.enc2(hidden).tanh()
+        hidden = self.dec1(latent).tanh()
+        return self.dec2(hidden)
+
+
+class AEEnsemble(WindowedDetector):
+    """Ensemble of sparse feed-forward autoencoders (paper baseline)."""
+
+    name = "AE-Ensemble"
+
+    def __init__(self, window: int = 16, n_models: int = 5,
+                 hidden_size: int = 64, latent_size: int = 16,
+                 drop_probability: float = 0.2, epochs: int = 5,
+                 batch_size: int = 64, learning_rate: float = 1e-3,
+                 rescale: bool = True,
+                 max_training_windows: Optional[int] = 4096, seed: int = 0):
+        super().__init__(window, rescale, max_training_windows, seed)
+        self.n_models = n_models
+        self.hidden_size = hidden_size
+        self.latent_size = latent_size
+        self.drop_probability = drop_probability
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.models: List[FeedForwardAutoencoder] = []
+        self._input_size: int = 0
+
+    def _fit_windows(self, windows: np.ndarray) -> None:
+        n, w, dims = windows.shape
+        self._input_size = w * dims
+        flattened = windows.reshape(n, self._input_size)
+        rng = np.random.default_rng(self.seed)
+        self.models = []
+        for _ in range(self.n_models):
+            model_rng = np.random.default_rng(rng.integers(2 ** 32))
+            model = FeedForwardAutoencoder(self._input_size, self.hidden_size,
+                                           self.latent_size,
+                                           self.drop_probability, model_rng)
+            train_reconstruction_model(
+                model, flattened,
+                lambda m, batch: mse_loss(m(batch), batch),
+                epochs=self.epochs, batch_size=self.batch_size,
+                learning_rate=self.learning_rate, rng=model_rng)
+            self.models.append(model)
+
+    def _score_windows(self, windows: np.ndarray) -> np.ndarray:
+        n, w, dims = windows.shape
+        flattened = windows.reshape(n, w * dims)
+        per_model = np.empty((len(self.models), n, w))
+        with no_grad():
+            for m, model in enumerate(self.models):
+                for start in range(0, n, 512):
+                    batch = flattened[start:start + 512]
+                    recon = model(Tensor(batch)).data
+                    errors = ((recon - batch) ** 2).reshape(-1, w, dims)
+                    per_model[m, start:start + 512] = errors.sum(axis=2)
+        return np.median(per_model, axis=0)

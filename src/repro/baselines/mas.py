@@ -1,0 +1,48 @@
+"""Moving Average Smoothing (MAS) baseline.
+
+The simplest comparator in the paper (Section 4.1.2): an observation's
+outlier score is its squared deviation from a centred moving average of its
+neighbourhood.  Large deviations from the local trend indicate outliers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.preprocess import StandardScaler
+from .base import OutlierDetector
+
+
+class MovingAverageSmoothing(OutlierDetector):
+    """Score = squared L2 distance from the centred moving average."""
+
+    name = "MAS"
+
+    def __init__(self, window: int = 16, rescale: bool = True):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.window = window
+        self.rescale = rescale
+        self.scaler = None
+
+    def fit(self, series: np.ndarray) -> "MovingAverageSmoothing":
+        series = self._validate_series(series)
+        if self.rescale:
+            self.scaler = StandardScaler().fit(series)
+        return self
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        series = self._validate_series(series)
+        if self.scaler is not None:
+            series = self.scaler.transform(series)
+        length = series.shape[0]
+        half = self.window // 2
+        # Centred moving average via cumulative sums, edge-truncated.
+        cumulative = np.cumsum(np.vstack([np.zeros((1, series.shape[1])),
+                                          series]), axis=0)
+        starts = np.clip(np.arange(length) - half, 0, length)
+        stops = np.clip(np.arange(length) + half + 1, 0, length)
+        sums = cumulative[stops] - cumulative[starts]
+        counts = (stops - starts).reshape(-1, 1)
+        smoothed = sums / counts
+        return ((series - smoothed) ** 2).sum(axis=1)

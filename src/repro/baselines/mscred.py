@@ -1,0 +1,121 @@
+"""MSCRED-style baseline (Zhang et al., AAAI 2019) — signature-matrix
+reconstruction.
+
+MSCRED characterises each time step by *correlation (signature) matrices*
+between dimension pairs over trailing segments of several lengths, and
+detects anomalies as reconstruction residuals of those matrices.  The paper
+uses matrices of length 16 with 5 steps in-between (Section 4.1.2).
+
+This reproduction keeps the defining design — reconstructing pairwise
+signature matrices rather than the raw series — while replacing the
+original convolutional-LSTM stack with a feed-forward autoencoder over the
+flattened multi-scale matrices (the substrate difference is documented in
+DESIGN.md).  Because one signature matrix summarises a whole window, its
+residual is assigned to *every* timestamp of the window, which reproduces
+MSCRED's characteristic behaviour in Tables 3-4: broad anomaly regions,
+high recall, low precision.
+
+For high-dimensional series the signature matrices are computed over
+block-averaged channel groups (≤ ``max_signature_dims``) to bound the
+flattened input size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, no_grad
+from ..nn.functional import mse_loss
+from .base import WindowedDetector
+from .training import train_reconstruction_model
+
+
+def block_average(series_windows: np.ndarray, groups: int) -> np.ndarray:
+    """Average (N, w, D) channels into (N, w, groups) block means."""
+    n, w, dims = series_windows.shape
+    if dims <= groups:
+        return series_windows
+    boundaries = np.linspace(0, dims, groups + 1).astype(int)
+    blocks = [series_windows[:, :, a:b].mean(axis=2)
+              for a, b in zip(boundaries[:-1], boundaries[1:])]
+    return np.stack(blocks, axis=2)
+
+
+def signature_matrices(windows: np.ndarray,
+                       segment_lengths: List[int]) -> np.ndarray:
+    """Multi-scale signature matrices, flattened: ``(N, S · d · d)``.
+
+    For each scale ``s`` the matrix is ``Xᵀ X / s`` over the window's last
+    ``s`` steps — the inner-product correlation structure MSCRED encodes.
+    """
+    n, w, dims = windows.shape
+    features = []
+    for segment in segment_lengths:
+        segment = min(segment, w)
+        tail = windows[:, w - segment:, :]
+        matrices = np.einsum("nti,ntj->nij", tail, tail,
+                             optimize=True) / segment
+        features.append(matrices.reshape(n, dims * dims))
+    return np.concatenate(features, axis=1)
+
+
+class _SignatureAutoencoder(Module):
+    """Two-layer MLP autoencoder over flattened signature matrices."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.enc = Linear(input_size, hidden_size, rng)
+        self.dec = Linear(hidden_size, input_size, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dec(self.enc(x).tanh())
+
+
+class MSCRED(WindowedDetector):
+    """Signature-matrix reconstruction detector."""
+
+    name = "MSCRED"
+
+    def __init__(self, window: int = 16, segment_lengths=(16, 8, 4),
+                 hidden_size: int = 64, max_signature_dims: int = 24,
+                 epochs: int = 10, batch_size: int = 64,
+                 learning_rate: float = 1e-3, rescale: bool = True,
+                 max_training_windows: Optional[int] = 4096, seed: int = 0):
+        super().__init__(window, rescale, max_training_windows, seed)
+        self.segment_lengths = list(segment_lengths)
+        self.hidden_size = hidden_size
+        self.max_signature_dims = max_signature_dims
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.model: Optional[_SignatureAutoencoder] = None
+
+    def _features(self, windows: np.ndarray) -> np.ndarray:
+        reduced = block_average(windows, self.max_signature_dims)
+        return signature_matrices(reduced, self.segment_lengths)
+
+    def _fit_windows(self, windows: np.ndarray) -> None:
+        features = self._features(windows)
+        rng = np.random.default_rng(self.seed)
+        self.model = _SignatureAutoencoder(features.shape[1],
+                                           self.hidden_size, rng)
+        train_reconstruction_model(
+            self.model, features,
+            lambda m, batch: mse_loss(m(batch), batch),
+            epochs=self.epochs, batch_size=self.batch_size,
+            learning_rate=self.learning_rate, rng=rng)
+
+    def _score_windows(self, windows: np.ndarray) -> np.ndarray:
+        features = self._features(windows)
+        n = features.shape[0]
+        residuals = np.empty(n)
+        with no_grad():
+            for start in range(0, n, 512):
+                batch = features[start:start + 512]
+                recon = self.model(Tensor(batch)).data
+                residuals[start:start + 512] = ((recon - batch) ** 2).mean(axis=1)
+        # One signature residual covers the whole window.
+        return np.repeat(residuals[:, None], self.window, axis=1)

@@ -1,0 +1,128 @@
+"""Recurrent autoencoder RAE (Malhotra et al. 2016) — LSTM seq2seq baseline.
+
+Encoder: an LSTM consumes the window; its final state summarises it.
+Decoder: starting from that state, the window is reconstructed in
+*reverse* order, each step feeding the previously reconstructed observation
+back in (Section 2, "Recurrent Autoencoders").  Because every step depends
+on the previous one, training is inherently sequential — the efficiency
+bottleneck that motivates the paper's convolutional design (Table 7).
+
+An optional recurrent-weight mask supports the RAE-Ensemble baseline,
+whose basic models randomly drop 20 % of recurrent connections.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import Linear, LSTMCell, Module, Tensor, no_grad, stack
+from ..nn.functional import mse_loss, sequence_reconstruction_errors
+from .base import WindowedDetector
+from .training import train_reconstruction_model
+
+
+class MaskedLSTMCell(LSTMCell):
+    """LSTM cell with a *fixed* sparse recurrent topology.
+
+    The binary mask is applied in every forward pass, so dropped recurrent
+    connections stay exactly zero throughout training — the structural
+    randomness of Kieu et al. 2019's ensemble members.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, recurrent_drop: float):
+        super().__init__(input_size, hidden_size, rng)
+        self.recurrent_mask = (rng.random(self.weight_hh.shape) >=
+                               recurrent_drop).astype(np.float64)
+
+    def forward(self, x, state):
+        h_prev, c_prev = state
+        masked_hh = self.weight_hh * Tensor(self.recurrent_mask)
+        gates = x @ self.weight_ih.T + h_prev @ masked_hh.T + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0 * hs:1 * hs].sigmoid()
+        f = gates[:, 1 * hs:2 * hs].sigmoid()
+        g = gates[:, 2 * hs:3 * hs].tanh()
+        o = gates[:, 3 * hs:4 * hs].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+
+class RecurrentAutoencoder(Module):
+    """LSTM encoder-decoder reconstructing windows in reverse order."""
+
+    def __init__(self, input_dim: int, hidden_size: int,
+                 rng: np.random.Generator,
+                 recurrent_drop: float = 0.0):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_size = hidden_size
+        if recurrent_drop > 0.0:
+            self.encoder_cell = MaskedLSTMCell(input_dim, hidden_size, rng,
+                                               recurrent_drop)
+            self.decoder_cell = MaskedLSTMCell(input_dim, hidden_size, rng,
+                                               recurrent_drop)
+        else:
+            self.encoder_cell = LSTMCell(input_dim, hidden_size, rng)
+            self.decoder_cell = LSTMCell(input_dim, hidden_size, rng)
+        self.output = Linear(hidden_size, input_dim, rng)
+
+    def forward(self, windows: Tensor) -> Tensor:
+        """Reconstruct ``(N, w, D)`` windows; returns the same shape."""
+        n, w, _ = windows.shape
+        h, c = self.encoder_cell.initial_state(n)
+        for t in range(w):
+            h, c = self.encoder_cell(windows[:, t, :], (h, c))
+        # Decoder reconstructs <s_w, ..., s_1>, seeded with the encoder
+        # state (h_C^(E) = h_C^(D)) and a zero 'previous' observation.
+        previous = Tensor(np.zeros((n, self.input_dim)))
+        reconstructed: List[Tensor] = []
+        for _ in range(w):
+            h, c = self.decoder_cell(previous, (h, c))
+            previous = self.output(h)
+            reconstructed.append(previous)
+        reconstructed.reverse()                 # back to forward time order
+        return stack(reconstructed, axis=1)
+
+
+class RAE(WindowedDetector):
+    """Single recurrent autoencoder detector (paper baseline 'RAE')."""
+
+    name = "RAE"
+
+    def __init__(self, window: int = 16, hidden_size: int = 32,
+                 epochs: int = 5, batch_size: int = 64,
+                 learning_rate: float = 1e-3, rescale: bool = True,
+                 max_training_windows: Optional[int] = 4096, seed: int = 0,
+                 recurrent_drop: float = 0.0):
+        super().__init__(window, rescale, max_training_windows, seed)
+        self.hidden_size = hidden_size
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.recurrent_drop = recurrent_drop
+        self.model: Optional[RecurrentAutoencoder] = None
+
+    def _fit_windows(self, windows: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.model = RecurrentAutoencoder(windows.shape[2], self.hidden_size,
+                                          rng,
+                                          recurrent_drop=self.recurrent_drop)
+        train_reconstruction_model(
+            self.model, windows,
+            lambda m, batch: mse_loss(m(batch), batch),
+            epochs=self.epochs, batch_size=self.batch_size,
+            learning_rate=self.learning_rate, rng=rng)
+
+    def _score_windows(self, windows: np.ndarray) -> np.ndarray:
+        scores = np.empty(windows.shape[:2])
+        with no_grad():
+            for start in range(0, windows.shape[0], 256):
+                batch = windows[start:start + 256]
+                recon = self.model(Tensor(batch)).data
+                scores[start:start + 256] = \
+                    sequence_reconstruction_errors(batch, recon)
+        return scores

@@ -1,0 +1,70 @@
+"""RAE-Ensemble baseline (Kieu, Yang, Guo & Jensen, IJCAI 2019).
+
+An ensemble of recurrent autoencoders whose basic models differ through
+randomly sparsified recurrent connections (the paper drops 20 % of skip
+connections; structural randomness is the *implicit* diversity mechanism
+that CAE-Ensemble's explicit metric improves upon).  Basic models train
+independently — no parameter transfer — so training cost scales linearly
+with ensemble size, which is what Table 7's runtime ratios show.
+
+Scores aggregate with the median, as in the original paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import Tensor, no_grad
+from ..nn.functional import mse_loss, sequence_reconstruction_errors
+from .base import WindowedDetector
+from .rae import RecurrentAutoencoder
+from .training import train_reconstruction_model
+
+
+class RAEEnsemble(WindowedDetector):
+    """Ensemble of structurally randomised recurrent autoencoders."""
+
+    name = "RAE-Ensemble"
+
+    def __init__(self, window: int = 16, n_models: int = 5,
+                 hidden_size: int = 32, epochs: int = 5,
+                 batch_size: int = 64, learning_rate: float = 1e-3,
+                 connection_drop: float = 0.2, rescale: bool = True,
+                 max_training_windows: Optional[int] = 4096, seed: int = 0):
+        super().__init__(window, rescale, max_training_windows, seed)
+        self.n_models = n_models
+        self.hidden_size = hidden_size
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.connection_drop = connection_drop
+        self.models: List[RecurrentAutoencoder] = []
+
+    def _fit_windows(self, windows: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.models = []
+        for _ in range(self.n_models):
+            model_rng = np.random.default_rng(rng.integers(2 ** 32))
+            model = RecurrentAutoencoder(windows.shape[2], self.hidden_size,
+                                         model_rng,
+                                         recurrent_drop=self.connection_drop)
+            train_reconstruction_model(
+                model, windows,
+                lambda m, batch: mse_loss(m(batch), batch),
+                epochs=self.epochs, batch_size=self.batch_size,
+                learning_rate=self.learning_rate, rng=model_rng)
+            self.models.append(model)
+
+    def _score_windows(self, windows: np.ndarray) -> np.ndarray:
+        n, w, _ = windows.shape
+        per_model = np.empty((len(self.models), n, w))
+        with no_grad():
+            for m, model in enumerate(self.models):
+                for start in range(0, n, 256):
+                    batch = windows[start:start + 256]
+                    recon = model(Tensor(batch)).data
+                    per_model[m, start:start + 256] = \
+                        sequence_reconstruction_errors(batch, recon)
+        return np.median(per_model, axis=0)

@@ -1,0 +1,109 @@
+"""RNNVAE baseline (Soelch et al. 2016) — variational recurrent autoencoder.
+
+A GRU encoder summarises the window into a single stochastic latent
+``z ~ N(μ, σ²)`` (the paper: hidden and stochastic spaces of 64,
+KL regularisation 1e-4); a GRU decoder conditioned on ``z`` reconstructs
+the window.  Scoring is deterministic (z = μ), as usual for
+reconstruction-based detection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import GRUCell, Linear, Module, Tensor, no_grad, stack
+from ..nn.functional import (gaussian_kl, gaussian_reparameterize, mse_loss,
+                             sequence_reconstruction_errors)
+from .base import WindowedDetector
+from .training import train_reconstruction_model
+
+
+class _RNNVAEModel(Module):
+    """GRU encoder → (μ, logσ²) → z → GRU decoder."""
+
+    def __init__(self, input_dim: int, hidden_size: int, latent_size: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_size = hidden_size
+        self.encoder = GRUCell(input_dim, hidden_size, rng)
+        self.to_mu = Linear(hidden_size, latent_size, rng)
+        self.to_logvar = Linear(hidden_size, latent_size, rng)
+        self.from_latent = Linear(latent_size, hidden_size, rng)
+        self.decoder = GRUCell(input_dim, hidden_size, rng)
+        self.output = Linear(hidden_size, input_dim, rng)
+
+    def encode(self, windows: Tensor) -> "tuple[Tensor, Tensor]":
+        n, w, _ = windows.shape
+        h = self.encoder.initial_state(n)
+        for t in range(w):
+            h = self.encoder(windows[:, t, :], h)
+        return self.to_mu(h), self.to_logvar(h).clip(-10.0, 10.0)
+
+    def decode(self, z: Tensor, windows: Tensor) -> Tensor:
+        """Teacher-forced reconstruction conditioned on the latent."""
+        n, w, _ = windows.shape
+        h = self.from_latent(z).tanh()
+        previous = Tensor(np.zeros((n, self.input_dim)))
+        outputs: List[Tensor] = []
+        for t in range(w):
+            h = self.decoder(previous, h)
+            outputs.append(self.output(h))
+            previous = windows[:, t, :]        # teacher forcing
+        return stack(outputs, axis=1)
+
+    def forward(self, windows: Tensor,
+                rng: Optional[np.random.Generator] = None) -> Tensor:
+        mu, logvar = self.encode(windows)
+        z = gaussian_reparameterize(mu, logvar, rng) if rng is not None \
+            else mu
+        return self.decode(z, windows)
+
+
+class RNNVAE(WindowedDetector):
+    """Variational recurrent autoencoder detector."""
+
+    name = "RNNVAE"
+
+    def __init__(self, window: int = 16, hidden_size: int = 32,
+                 latent_size: int = 16, kl_weight: float = 1e-4,
+                 epochs: int = 5, batch_size: int = 64,
+                 learning_rate: float = 1e-3, rescale: bool = True,
+                 max_training_windows: Optional[int] = 4096, seed: int = 0):
+        super().__init__(window, rescale, max_training_windows, seed)
+        self.hidden_size = hidden_size
+        self.latent_size = latent_size
+        self.kl_weight = kl_weight
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.model: Optional[_RNNVAEModel] = None
+
+    def _fit_windows(self, windows: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.model = _RNNVAEModel(windows.shape[2], self.hidden_size,
+                                  self.latent_size, rng)
+
+        def elbo_loss(model: _RNNVAEModel, batch: Tensor) -> Tensor:
+            mu, logvar = model.encode(batch)
+            z = gaussian_reparameterize(mu, logvar, rng)
+            reconstruction = model.decode(z, batch)
+            return mse_loss(reconstruction, batch) + \
+                self.kl_weight * gaussian_kl(mu, logvar)
+
+        train_reconstruction_model(
+            self.model, windows, elbo_loss, epochs=self.epochs,
+            batch_size=self.batch_size, learning_rate=self.learning_rate,
+            rng=rng)
+
+    def _score_windows(self, windows: np.ndarray) -> np.ndarray:
+        scores = np.empty(windows.shape[:2])
+        with no_grad():
+            for start in range(0, windows.shape[0], 256):
+                batch = windows[start:start + 256]
+                recon = self.model(Tensor(batch)).data
+                scores[start:start + 256] = \
+                    sequence_reconstruction_errors(batch, recon)
+        return scores

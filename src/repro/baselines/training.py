@@ -1,0 +1,46 @@
+"""Shared mini-batch training loop for the neural baselines."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..nn import Adam, Module, Tensor
+
+
+def train_reconstruction_model(
+        model: Module,
+        windows: np.ndarray,
+        loss_fn: Callable[[Module, Tensor], Tensor],
+        epochs: int,
+        batch_size: int,
+        learning_rate: float,
+        rng: np.random.Generator,
+        grad_clip: Optional[float] = 5.0) -> List[float]:
+    """Train ``model`` on ``(N, w, D)`` windows with Adam.
+
+    ``loss_fn(model, batch)`` returns the scalar training loss for one
+    batch; this indirection lets VAE baselines add KL terms and ensembles
+    add diversity terms without duplicating the loop.
+
+    Returns the per-epoch mean losses (useful for convergence assertions).
+    """
+    optimizer = Adam(model.parameters(), lr=learning_rate,
+                     grad_clip=grad_clip)
+    n = windows.shape[0]
+    losses: List[float] = []
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        total = 0.0
+        batches = 0
+        for start in range(0, n, batch_size):
+            batch = Tensor(windows[order[start:start + batch_size]])
+            optimizer.zero_grad()
+            loss = loss_fn(model, batch)
+            loss.backward()
+            optimizer.step()
+            total += float(loss.data)
+            batches += 1
+        losses.append(total / max(batches, 1))
+    return losses

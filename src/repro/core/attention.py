@@ -1,0 +1,46 @@
+"""Per-layer global attention between decoder and encoder states
+(Section 3.1.4, Figure 7, Equation 7).
+
+For decoder layer ``l`` with hidden states ``d_t`` and encoder outputs
+``e_t'`` at the same layer:
+
+1. state summary   ``z_t = W_z d_t + b_z``;
+2. attention score ``α_tt' = softmax_t'(z_t · e_t')``;
+3. context vector  ``c_t = Σ_t' α_tt' e_t'``;
+4. update          ``d_t ← d_t + c_t``.
+
+This lets the reconstruction of timestamp ``t`` attend to similar
+observations anywhere in the window — the mechanism the paper credits for
+capturing local periodicity.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+from ..nn.functional import batched_dot_attention
+
+
+class GlobalAttention(Module):
+    """Luong-style dot attention over channel-first ``(N, D', w)`` states."""
+
+    def __init__(self, channels: int, rng: np.random.Generator):
+        super().__init__()
+        self.summary = Linear(channels, channels, rng)
+
+    def forward(self, decoder_state: Tensor, encoder_state: Tensor
+                ) -> Tuple[Tensor, Tensor]:
+        """Return the updated decoder state and the attention weights.
+
+        Both inputs are ``(N, D', w)``; weights come back as ``(N, w, w)``
+        with rows summing to one (softmax over encoder timestamps).
+        """
+        d = decoder_state.transpose(0, 2, 1)     # (N, w, D')
+        e = encoder_state.transpose(0, 2, 1)     # (N, w, D')
+        z = self.summary(d)                      # state summaries z_t
+        context, weights = batched_dot_attention(z, e, e)
+        updated = (d + context).transpose(0, 2, 1)
+        return updated, weights

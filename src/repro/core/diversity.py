@@ -1,0 +1,86 @@
+"""Diversity metrics and the diversity-driven objective (Section 3.2.2-3.2.3).
+
+* Eq. 9:  ``DIV_{f_m,f_n}(X) = || f_m(X) − f_n(X) ||_2`` — output distance
+  between two basic models;
+* Eq. 10: ``DIV_F(X)`` — average pairwise diversity over the ensemble;
+* Eq. 12: ``K_{f_m} = || f_m(X) − F(X) ||_2^2`` — distance of a model's
+  output from the current ensemble output;
+* Eq. 13: ``L_{f_m} = J_{f_m} − λ K_{f_m}`` — accuracy *minus* weighted
+  diversity: minimising it rewards models that reconstruct well while
+  disagreeing with the ensemble.
+
+``K`` uses a *mean* reduction here so λ has the same meaning regardless of
+window count, width or batch size (the paper's sum reduction ties λ's scale
+to tensor sizes).  It is also clipped through a saturating transform in the
+combined loss to keep the optimisation from diverging at large λ — without
+it, −λK is unbounded below and the optimum runs away from the data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn import Tensor
+
+
+def pairwise_diversity(output_a: np.ndarray, output_b: np.ndarray) -> float:
+    """Eq. 9 — Euclidean distance between two model outputs."""
+    output_a = np.asarray(output_a, dtype=np.float64)
+    output_b = np.asarray(output_b, dtype=np.float64)
+    if output_a.shape != output_b.shape:
+        raise ValueError(f"shape mismatch: {output_a.shape} vs "
+                         f"{output_b.shape}")
+    return float(np.linalg.norm(output_a - output_b))
+
+
+def ensemble_diversity(outputs: Sequence[np.ndarray]) -> float:
+    """Eq. 10 — mean pairwise diversity; 0 for a single-model ensemble.
+
+    Used verbatim by the Table 6 experiment ("Quantifying the diversity").
+    """
+    outputs = [np.asarray(o, dtype=np.float64) for o in outputs]
+    m = len(outputs)
+    if m < 2:
+        return 0.0
+    total = 0.0
+    for i in range(m):
+        for j in range(i + 1, m):
+            total += pairwise_diversity(outputs[i], outputs[j])
+    return 2.0 * total / (m * (m - 1))
+
+
+def reconstruction_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """J (Eq. 11): mean squared reconstruction error."""
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def diversity_term(prediction: Tensor, ensemble_output: np.ndarray) -> Tensor:
+    """K (Eq. 12): mean squared distance from the frozen ensemble output.
+
+    ``ensemble_output`` is a plain array — previous basic models are frozen
+    while the current one trains (Figure 8), so no gradient flows to them.
+    """
+    diff = prediction - Tensor(np.asarray(ensemble_output, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def diversity_driven_loss(prediction: Tensor, target: Tensor,
+                          ensemble_output: np.ndarray,
+                          diversity_weight: float,
+                          saturation: float = 1.0) -> Tensor:
+    """L (Eq. 13): ``J − λ·sat(K)`` with a saturating diversity reward.
+
+    ``sat(K) = saturation · K / (K + saturation)`` is monotone in K,
+    ≈ K for small K and bounded by ``saturation`` — so the diversity reward
+    cannot dominate the objective and push reconstructions arbitrarily far
+    from the data, while small-λ behaviour matches the paper's linear form.
+    """
+    j = reconstruction_loss(prediction, target)
+    if diversity_weight == 0.0 or ensemble_output is None:
+        return j
+    k = diversity_term(prediction, ensemble_output)
+    saturated = (k * saturation) / (k + saturation)
+    return j - diversity_weight * saturated

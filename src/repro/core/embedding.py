@@ -1,0 +1,65 @@
+"""Observation + position embedding (Section 3.1.1, Figure 4).
+
+Each window observation ``s_t`` (D-dim) is mapped to ``v_t = f_s(W_v s_t +
+b_v)`` and its position ``t`` to ``p_t = f_t(W_p t + b_p)``; the final
+model input is the *sum* ``x_t = v_t + p_t`` (the paper cites Gehring 2017
+/ Vaswani 2017 for summing rather than concatenating).
+
+Positions are normalised to ``t / w`` before the linear map so the tanh
+activation does not saturate for large windows — with the paper's raw
+integer positions and any reasonable weight scale, tanh(W_p·t) is ±1 for
+every t beyond the first few, which would erase positional information.
+A learned lookup-table mode is provided as an alternative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Embedding, Linear, Module, Tensor
+from .config import CAEConfig
+
+
+class InputEmbedding(Module):
+    """Maps a raw window batch ``(N, w, D)`` to embedded ``(N, w, D')``."""
+
+    def __init__(self, config: CAEConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.observation = Linear(config.input_dim, config.embed_dim, rng)
+        if config.position_mode == "linear":
+            self.position = Linear(1, config.embed_dim, rng)
+        else:
+            self.position = Embedding(config.window, config.embed_dim, rng)
+        self._positions = np.arange(config.window, dtype=np.float64)
+
+    def position_vectors(self) -> Tensor:
+        """The ``(w, D')`` matrix of position embeddings ``p_1 .. p_w``."""
+        if self.config.position_mode == "linear":
+            normalised = (self._positions / max(self.config.window - 1, 1)
+                          ).reshape(-1, 1)
+            return self.position(Tensor(normalised)).tanh()
+        return self.position(self._positions.astype(np.intp))
+
+    def forward(self, windows: Tensor) -> Tensor:
+        """Embed a batch of windows.
+
+        Parameters
+        ----------
+        windows: ``(N, w, D)`` raw (already re-scaled) window batch.
+
+        Returns
+        -------
+        ``(N, w, D')`` embedded input ``X = <v_1+p_1, ..., v_w+p_w>``.
+        """
+        if windows.ndim != 3:
+            raise ValueError(f"expected (N, w, D) windows, got {windows.shape}")
+        if windows.shape[1] != self.config.window:
+            raise ValueError(f"window length {windows.shape[1]} != configured "
+                             f"{self.config.window}")
+        if windows.shape[2] != self.config.input_dim:
+            raise ValueError(f"observation dim {windows.shape[2]} != "
+                             f"configured {self.config.input_dim}")
+        values = self.observation(windows).tanh()          # (N, w, D')
+        positions = self.position_vectors()                 # (w, D')
+        return values + positions.reshape(1, *positions.shape)

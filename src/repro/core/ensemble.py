@@ -1,0 +1,303 @@
+"""CAE-Ensemble: diversity-driven training and median scoring (Algorithm 1).
+
+The ensemble generates basic models sequentially.  Model ``f_1`` trains
+normally; each later ``f_m`` (i) inherits a random β-fraction of
+``f_{m−1}``'s parameters (:mod:`repro.core.transfer`) and (ii) trains with
+the diversity-driven objective ``J − λ·K`` against the frozen output of the
+ensemble built so far (:mod:`repro.core.diversity`).  The final outlier
+score of an observation is the **median** of the per-model reconstruction
+errors (Eq. 15), mapped from windows back to observations using the
+Figure 10 protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.preprocess import StandardScaler
+from ..datasets.windows import (sliding_windows,
+                                window_scores_to_observation_scores)
+from ..nn import Adam, Tensor, no_grad
+from .cae import CAE
+from .config import CAEConfig, EnsembleConfig
+from .diversity import (diversity_driven_loss, diversity_term,
+                        ensemble_diversity, reconstruction_loss)
+from .transfer import TransferReport, transfer_parameters
+
+
+@dataclasses.dataclass
+class EpochRecord:
+    """Loss bookkeeping for one training epoch of one basic model."""
+    model_index: int
+    epoch: int
+    loss: float
+    reconstruction: float
+    diversity: float
+
+
+class CAEEnsemble:
+    """Diversity-driven convolutional autoencoder ensemble.
+
+    Typical use::
+
+        ensemble = CAEEnsemble(CAEConfig(input_dim=D), EnsembleConfig())
+        ensemble.fit(train_series)            # (L, D) raw series
+        scores = ensemble.score(test_series)  # one score per observation
+
+    All randomness flows from ``ensemble_config.seed``.
+    """
+
+    def __init__(self, cae_config: CAEConfig,
+                 ensemble_config: Optional[EnsembleConfig] = None):
+        self.cae_config = cae_config
+        self.config = ensemble_config or EnsembleConfig()
+        self.models: List[CAE] = []
+        self.scaler: Optional[StandardScaler] = None
+        self.history: List[EpochRecord] = []
+        self.transfer_reports: List[TransferReport] = []
+        self.train_seconds_: float = 0.0
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    # Training (Algorithm 1)
+    # ------------------------------------------------------------------
+    def fit(self, series: np.ndarray, verbose: bool = False) -> "CAEEnsemble":
+        """Train all basic models on an unlabelled series ``(L, D)``."""
+        start_time = time.perf_counter()
+        windows = self._prepare_training_windows(series)
+        self.models = []
+        self.history = []
+        self.transfer_reports = []
+
+        # Running sum of frozen model outputs; F = sum / m (Eq. 8).
+        ensemble_sum: Optional[np.ndarray] = None
+
+        for model_index in range(self.config.n_models):
+            model = CAE(self.cae_config,
+                        np.random.default_rng(self._rng.integers(2 ** 32)))
+            if model_index > 0 and self.config.transfer_fraction > 0.0:
+                report = transfer_parameters(self.models[-1], model,
+                                             self.config.transfer_fraction,
+                                             self._rng)
+                self.transfer_reports.append(report)
+            frozen_mean = (ensemble_sum / model_index
+                           if model_index > 0 and ensemble_sum is not None
+                           else None)
+            self._train_basic_model(model, model_index, windows, frozen_mean,
+                                    verbose=verbose)
+            self.models.append(model)
+            output = self._model_output(model, windows)
+            ensemble_sum = output if ensemble_sum is None \
+                else ensemble_sum + output
+
+        self.train_seconds_ = time.perf_counter() - start_time
+        return self
+
+    def _prepare_training_windows(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim != 2:
+            raise ValueError(f"expected (L, D) series, got {series.shape}")
+        if series.shape[1] != self.cae_config.input_dim:
+            raise ValueError(f"series has {series.shape[1]} dims, model "
+                             f"expects {self.cae_config.input_dim}")
+        if not np.all(np.isfinite(series)):
+            raise ValueError("series contains NaN or infinite values; "
+                             "impute or drop them before training")
+        if self.config.rescale:
+            self.scaler = StandardScaler().fit(series)
+            series = self.scaler.transform(series)
+        else:
+            self.scaler = None
+        windows = np.array(sliding_windows(series, self.cae_config.window))
+        cap = self.config.max_training_windows
+        if cap is not None and windows.shape[0] > cap:
+            keep = self._rng.choice(windows.shape[0], size=cap, replace=False)
+            windows = windows[np.sort(keep)]
+        return windows
+
+    def _train_basic_model(self, model: CAE, model_index: int,
+                           windows: np.ndarray,
+                           frozen_ensemble: Optional[np.ndarray],
+                           verbose: bool = False) -> None:
+        optimizer = Adam(model.parameters(), lr=self.config.learning_rate,
+                         grad_clip=self.config.grad_clip)
+        n = windows.shape[0]
+        batch = self.config.batch_size
+        use_diversity = (frozen_ensemble is not None and
+                         self.config.diversity_weight > 0.0)
+        previous_loss: Optional[float] = None
+        stall_count = 0
+        for epoch in range(self.config.epochs_per_model):
+            order = self._rng.permutation(n)
+            epoch_loss = epoch_j = epoch_k = 0.0
+            n_batches = 0
+            for start in range(0, n, batch):
+                index = order[start:start + batch]
+                batch_windows = Tensor(windows[index])
+                optimizer.zero_grad()
+                prediction = model(batch_windows)
+                target = model.reconstruction_target(batch_windows)
+                if use_diversity:
+                    loss = diversity_driven_loss(
+                        prediction, target, frozen_ensemble[index],
+                        self.config.diversity_weight,
+                        saturation=self.config.diversity_saturation)
+                    with no_grad():
+                        k_value = float(diversity_term(
+                            prediction.detach(),
+                            frozen_ensemble[index]).data)
+                else:
+                    loss = reconstruction_loss(prediction, target)
+                    k_value = 0.0
+                loss.backward()
+                optimizer.step()
+                with no_grad():
+                    j_value = float(reconstruction_loss(
+                        prediction.detach(), target).data)
+                epoch_loss += float(loss.data)
+                epoch_j += j_value
+                epoch_k += k_value
+                n_batches += 1
+            record = EpochRecord(model_index=model_index, epoch=epoch,
+                                 loss=epoch_loss / n_batches,
+                                 reconstruction=epoch_j / n_batches,
+                                 diversity=epoch_k / n_batches)
+            self.history.append(record)
+            if verbose:
+                print(f"model {model_index} epoch {epoch}: "
+                      f"loss={record.loss:.5f} J={record.reconstruction:.5f} "
+                      f"K={record.diversity:.5f}")
+            tolerance = self.config.early_stop_tolerance
+            if tolerance is not None and previous_loss is not None:
+                improvement = (previous_loss - record.reconstruction) / \
+                    max(abs(previous_loss), 1e-12)
+                stall_count = stall_count + 1 if improvement < tolerance \
+                    else 0
+                if stall_count >= self.config.early_stop_patience:
+                    break
+            previous_loss = record.reconstruction
+
+    def _model_output(self, model: CAE, windows: np.ndarray,
+                      batch_size: int = 256) -> np.ndarray:
+        """Frozen forward pass over all windows, ``(N, w, out)``."""
+        outputs = np.empty(
+            (windows.shape[0], self.cae_config.window,
+             self.cae_config.output_dim), dtype=np.float64)
+        with no_grad():
+            for start in range(0, windows.shape[0], batch_size):
+                batch = Tensor(windows[start:start + batch_size])
+                outputs[start:start + batch_size] = model(batch).data
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Scoring (Eq. 14/15 + Figure 10)
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if not self.models:
+            raise RuntimeError("ensemble must be fitted before scoring")
+
+    def _transform(self, series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim != 2:
+            raise ValueError(f"expected (L, D) series, got {series.shape}")
+        if not np.all(np.isfinite(series)):
+            raise ValueError("series contains NaN or infinite values; "
+                             "impute or drop them before scoring")
+        if self.scaler is not None:
+            series = self.scaler.transform(series)
+        return series
+
+    def window_scores(self, series: np.ndarray,
+                      n_models: Optional[int] = None) -> np.ndarray:
+        """Aggregated per-window per-timestamp scores, ``(N, w)``.
+
+        ``n_models`` restricts aggregation to the first ``n_models`` basic
+        models (used by the Figure 16 "effect of the number of basic
+        models" experiment without retraining).
+        """
+        self._require_fitted()
+        models = self.models if n_models is None else self.models[:n_models]
+        if not models:
+            raise ValueError("n_models must be >= 1")
+        series = self._transform(series)
+        windows = np.array(sliding_windows(series, self.cae_config.window))
+        per_model = np.stack([model.window_scores(windows)
+                              for model in models])        # (M, N, w)
+        if self.config.aggregation == "median":
+            return np.median(per_model, axis=0)
+        return per_model.mean(axis=0)
+
+    def score(self, series: np.ndarray,
+              n_models: Optional[int] = None) -> np.ndarray:
+        """One outlier score per observation of ``series`` (length L)."""
+        aggregated = self.window_scores(series, n_models=n_models)
+        return window_scores_to_observation_scores(aggregated,
+                                                   self.cae_config.window)
+
+    def score_window(self, window: np.ndarray) -> float:
+        """Online mode: score the *last* observation of one window.
+
+        This is the streaming path of Table 8 — a new observation arrives,
+        a window of it plus its ``w−1`` predecessors is scored in one
+        forward pass per basic model.
+        """
+        self._require_fitted()
+        window = np.asarray(window, dtype=np.float64)
+        if window.shape != (self.cae_config.window, self.cae_config.input_dim):
+            raise ValueError(f"expected ({self.cae_config.window}, "
+                             f"{self.cae_config.input_dim}) window, "
+                             f"got {window.shape}")
+        if self.scaler is not None:
+            window = self.scaler.transform(window)
+        batch = window[None]
+        last_errors = [model.window_scores(batch)[0, -1]
+                       for model in self.models]
+        if self.config.aggregation == "median":
+            return float(np.median(last_errors))
+        return float(np.mean(last_errors))
+
+    def detect(self, series: np.ndarray,
+               threshold: Optional[float] = None,
+               ratio: Optional[float] = None) -> np.ndarray:
+        """Binary outlier predictions.
+
+        Either pass an explicit score ``threshold`` (domain knowledge) or a
+        known outlier ``ratio`` — the top-ratio scores are flagged.
+        """
+        scores = self.score(series)
+        if threshold is None:
+            if ratio is None:
+                raise ValueError("provide either threshold or ratio")
+            from ..metrics.thresholding import top_k_threshold
+            threshold = top_k_threshold(scores, ratio * 100.0)
+        return (scores > threshold).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def model_outputs(self, series: np.ndarray) -> List[np.ndarray]:
+        """Each basic model's reconstruction of the series' windows.
+
+        Used by the Table 6 experiment to evaluate Eq. 10 diversity.
+        """
+        self._require_fitted()
+        series = self._transform(series)
+        windows = np.array(sliding_windows(series, self.cae_config.window))
+        return [self._model_output(model, windows) for model in self.models]
+
+    def diversity(self, series: np.ndarray) -> float:
+        """Eq. 10 ensemble diversity evaluated on ``series``."""
+        return ensemble_diversity(self.model_outputs(series))
+
+    def validation_reconstruction_error(self, series: np.ndarray) -> float:
+        """Mean aggregated reconstruction error — the Algorithm 2 quality
+        score (no labels involved)."""
+        return float(self.window_scores(series).mean())
+
+    @property
+    def n_models(self) -> int:
+        return len(self.models)

@@ -1,0 +1,105 @@
+"""Convolutional encoder / decoder blocks with GLU gating and skips.
+
+Implements Equations 3-6 of the paper:
+
+* Encoder layer (Eq. 3):  ``E^(l+1) = f_E(W_E ⊗ GLU(E^(l)) + b_E) + E^(l)``
+  with 'same' padding (Figure 5);
+* GLU (Eqs. 4-5): two parallel convolutions, ``A_1 ⊙ σ(A_2)``;
+* Decoder layer (Eq. 6):  ``D^(l+1) = f_D(W_D ⊗ GLU(D^(l)) + b_D + E^(l))
+  + D^(l)`` with *causal* (left-only) padding so timestamp ``t`` never sees
+  the future (Figure 6).
+
+All tensors here are channel-first: ``(N, D', w)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import Conv1d, Module, Tensor
+
+
+class GLUConv(Module):
+    """Gated linear unit over the temporal axis (Eqs. 4-5).
+
+    Two convolutions produce ``A_1`` and ``A_2``; the output is
+    ``A_1 ⊙ σ(A_2)``, letting the network decide per channel and timestep
+    how much temporal information to keep — the convolutional analogue of
+    RNN gating the paper cites from Dauphin et al. 2017.
+    """
+
+    def __init__(self, channels: int, kernel_size: int, padding: str,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.conv_value = Conv1d(channels, channels, kernel_size, rng,
+                                 padding=padding)
+        self.conv_gate = Conv1d(channels, channels, kernel_size, rng,
+                                padding=padding)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.conv_value(x) * self.conv_gate(x).sigmoid()
+
+
+class EncoderLayer(Module):
+    """One encoder convolution block with GLU, activation and skip (Eq. 3)."""
+
+    def __init__(self, channels: int, kernel_size: int,
+                 rng: np.random.Generator, use_glu: bool = True):
+        super().__init__()
+        self.use_glu = use_glu
+        if use_glu:
+            self.glu = GLUConv(channels, kernel_size, "same", rng)
+        self.conv = Conv1d(channels, channels, kernel_size, rng,
+                           padding="same")
+
+    def forward(self, x: Tensor) -> Tensor:
+        gated = self.glu(x) if self.use_glu else x
+        return self.conv(gated).relu() + x
+
+
+class DecoderLayer(Module):
+    """One causal decoder block (Eq. 6), mixing in the encoder state."""
+
+    def __init__(self, channels: int, kernel_size: int,
+                 rng: np.random.Generator, use_glu: bool = True):
+        super().__init__()
+        self.use_glu = use_glu
+        if use_glu:
+            self.glu = GLUConv(channels, kernel_size, "causal", rng)
+        self.conv = Conv1d(channels, channels, kernel_size, rng,
+                           padding="causal")
+
+    def forward(self, x: Tensor, encoder_state: Optional[Tensor]) -> Tensor:
+        gated = self.glu(x) if self.use_glu else x
+        pre = self.conv(gated)
+        if encoder_state is not None:
+            pre = pre + encoder_state
+        return pre.relu() + x
+
+
+class Encoder(Module):
+    """Stack of :class:`EncoderLayer`; returns every layer's output.
+
+    The per-layer outputs ``E^(1) .. E^(L)`` feed both the decoder's Eq. 6
+    mixing term and the per-layer attention (Section 3.1.4).
+    """
+
+    def __init__(self, channels: int, n_layers: int, kernel_size: int,
+                 rng: np.random.Generator, use_glu: bool = True):
+        super().__init__()
+        self.n_layers = n_layers
+        self._names: List[str] = []
+        for i in range(n_layers):
+            name = f"layer{i}"
+            setattr(self, name, EncoderLayer(channels, kernel_size, rng,
+                                             use_glu=use_glu))
+            self._names.append(name)
+
+    def forward(self, x: Tensor) -> List[Tensor]:
+        states: List[Tensor] = []
+        for name in self._names:
+            x = getattr(self, name)(x)
+            states.append(x)
+        return states

@@ -1,0 +1,64 @@
+"""Pre-processing: z-score rescaling and train/validation splitting.
+
+The paper rescales each observation to ``z = (x - mu) / sigma`` using the
+*training* statistics (so magnitude differences between dimensions do not
+skew reconstruction errors) and reserves 30 % of the training set as an
+unlabelled validation set for hyperparameter selection (Section 4.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-dimension z-score scaler fitted on training data.
+
+    Constant dimensions (σ = 0) are left centred but unscaled, which avoids
+    division blow-ups on flatlined sensors (common in WADI-style data).
+    """
+
+    def __init__(self):
+        self.mean_: np.ndarray = None
+        self.std_: np.ndarray = None
+
+    def fit(self, series: np.ndarray) -> "StandardScaler":
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim != 2:
+            raise ValueError(f"expected (L, D) series, got {series.shape}")
+        self.mean_ = series.mean(axis=0)
+        std = series.std(axis=0)
+        self.std_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        series = np.asarray(series, dtype=np.float64)
+        return (series - self.mean_) / self.std_
+
+    def fit_transform(self, series: np.ndarray) -> np.ndarray:
+        return self.fit(series).transform(series)
+
+    def inverse_transform(self, series: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        return np.asarray(series, dtype=np.float64) * self.std_ + self.mean_
+
+
+def train_validation_split(series: np.ndarray, validation_fraction: float = 0.3
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+    """Chronological split: the last ``validation_fraction`` becomes validation.
+
+    Time series must not be shuffled — a random split would leak future
+    context into training windows.
+    """
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError(f"validation fraction must be in (0, 1), "
+                         f"got {validation_fraction}")
+    series = np.asarray(series)
+    split = int(round(series.shape[0] * (1.0 - validation_fraction)))
+    split = min(max(split, 1), series.shape[0] - 1)
+    return series[:split], series[split:]

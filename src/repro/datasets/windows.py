@@ -1,0 +1,94 @@
+"""Sliding-window construction and window→observation score mapping.
+
+Implements the paper's pre-processing (windows of size ``w`` sliding one
+observation at a time) and the Figure 10 protocol for turning per-window
+reconstruction errors back into one outlier score per observation:
+
+* the **first** window contributes the scores of *all* its timestamps;
+* every **subsequent** window contributes only its *last* timestamp.
+
+This yields exactly one score per observation of the original series.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def sliding_windows(series: np.ndarray, window: int,
+                    stride: int = 1) -> np.ndarray:
+    """Slice ``(L, D)`` into overlapping windows ``(N, window, D)``.
+
+    Windows are read-only views (stride tricks) — callers that mutate must
+    copy.  ``N = floor((L - window) / stride) + 1``.
+    """
+    series = np.ascontiguousarray(series)
+    if series.ndim != 2:
+        raise ValueError(f"expected (L, D) series, got shape {series.shape}")
+    length, dims = series.shape
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if window > length:
+        raise ValueError(f"window {window} longer than series {length}")
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+    n = (length - window) // stride + 1
+    s0, s1 = series.strides
+    view = np.lib.stride_tricks.as_strided(
+        series, shape=(n, window, dims), strides=(s0 * stride, s0, s1),
+        writeable=False)
+    return view
+
+
+def window_count(length: int, window: int, stride: int = 1) -> int:
+    """Number of windows :func:`sliding_windows` will produce."""
+    if window > length:
+        raise ValueError(f"window {window} longer than series {length}")
+    return (length - window) // stride + 1
+
+
+def window_scores_to_observation_scores(window_scores: np.ndarray,
+                                        window: int) -> np.ndarray:
+    """Map per-window per-timestamp scores to one score per observation.
+
+    Parameters
+    ----------
+    window_scores: ``(N, window)`` array — score of timestamp ``j`` within
+                   window ``i`` (stride-1 windows assumed, as in the paper).
+    window:        the window size ``w``.
+
+    Returns
+    -------
+    ``(N + window - 1,)`` scores: the first window supplies its full row;
+    window ``i > 0`` supplies only its last entry (Figure 10).
+    """
+    window_scores = np.asarray(window_scores, dtype=np.float64)
+    if window_scores.ndim != 2 or window_scores.shape[1] != window:
+        raise ValueError(f"expected (N, {window}) scores, "
+                         f"got {window_scores.shape}")
+    n = window_scores.shape[0]
+    out = np.empty(n + window - 1, dtype=np.float64)
+    out[:window] = window_scores[0]
+    if n > 1:
+        out[window:] = window_scores[1:, -1]
+    return out
+
+
+def observation_index_of_window_entry(window_index: int, offset: int,
+                                      stride: int = 1) -> int:
+    """Original-series index of entry ``offset`` inside window ``window_index``."""
+    return window_index * stride + offset
+
+
+def pad_series_for_full_scores(series: np.ndarray, window: int) -> np.ndarray:
+    """Left-pad a series by repeating its first row ``window - 1`` times.
+
+    Used in streaming mode so that even the first ``window - 1``
+    observations receive a score from a full window.
+    """
+    if series.ndim != 2:
+        raise ValueError(f"expected (L, D) series, got shape {series.shape}")
+    pad = np.repeat(series[:1], window - 1, axis=0)
+    return np.concatenate([pad, series], axis=0)

@@ -1,0 +1,83 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Examples
+--------
+List the experiments::
+
+    python -m repro.experiments list
+
+Regenerate Table 3 on the fast budget and save the rendering::
+
+    python -m repro.experiments table3 --budget fast --out table3.txt
+
+Regenerate everything::
+
+    python -m repro.experiments all --budget fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .registry import EXPERIMENT_DESCRIPTIONS, EXPERIMENTS
+from .runner import BUDGETS
+
+
+def _progress(message: str) -> None:
+    print(f"  .. {message}", file=sys.stderr, flush=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation artifacts.")
+    parser.add_argument("experiment",
+                        help="experiment id (tableN / figureN), 'all', or "
+                             "'list'")
+    parser.add_argument("--budget", default="standard",
+                        choices=sorted(BUDGETS),
+                        help="cost budget (default: standard)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="also write the rendering to this file")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress messages")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(f"{name:10s} {EXPERIMENT_DESCRIPTIONS[name]}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s) {unknown}; "
+                     f"known: {list(EXPERIMENTS)} or 'all'")
+
+    budget = BUDGETS[args.budget]
+    progress = None if args.quiet else _progress
+    renderings = []
+    for name in names:
+        start = time.perf_counter()
+        if progress:
+            progress(f"running {name} (budget={budget.name})")
+        result = EXPERIMENTS[name](budget=budget, seed=args.seed,
+                                   progress=progress)
+        elapsed = time.perf_counter() - start
+        rendering = f"{result.rendering}\n\n(regenerated in {elapsed:.1f}s " \
+                    f"on budget '{budget.name}')"
+        print(rendering)
+        print()
+        renderings.append(rendering)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write("\n\n".join(renderings) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,171 @@
+"""Reference values published in the paper (for side-by-side reporting).
+
+These are transcribed from the extended version (arXiv:2111.11108):
+Tables 3-4 (accuracy), Table 5 (ablation), Table 6 (diversity),
+Table 7 (training time), Table 8 (inference time), and the qualitative
+trends of Figures 13-17.  The harness prints them next to measured values
+so EXPERIMENTS.md can record paper-vs-measured for every artifact.
+
+Metric row order everywhere: (Precision, Recall, F1, PR, ROC).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+MetricRow = Tuple[float, float, float, float, float]
+
+#: Tables 3 and 4 — accuracy per dataset per model.
+PAPER_ACCURACY: Dict[str, Dict[str, MetricRow]] = {
+    "ecg": {
+        "ISF":          (0.0543, 0.7199, 0.0999, 0.0501, 0.5062),
+        "LOF":          (0.0539, 0.6539, 0.0962, 0.0500, 0.4912),
+        "MAS":          (0.0670, 0.6276, 0.1159, 0.0578, 0.5342),
+        "OCSVM":        (0.0825, 0.4987, 0.1309, 0.0588, 0.5342),
+        "MSCRED":       (0.1789, 0.6651, 0.2303, 0.1055, 0.5166),
+        "OMNIANOMALY":  (0.2220, 0.4938, 0.2042, 0.1409, 0.5584),
+        "RNNVAE":       (0.1768, 0.4222, 0.1439, 0.0895, 0.5500),
+        "AE-Ensemble":  (0.1583, 0.5398, 0.1907, 0.1302, 0.5952),
+        "RAE":          (0.1297, 0.5394, 0.1669, 0.0936, 0.5922),
+        "RAE-Ensemble": (0.2003, 0.5838, 0.1864, 0.1176, 0.5372),
+        "CAE":          (0.1919, 0.4574, 0.1954, 0.1297, 0.5633),
+        "CAE-Ensemble": (0.2522, 0.4924, 0.2521, 0.1887, 0.5715),
+    },
+    "smd": {
+        "ISF":          (0.0880, 0.4571, 0.1079, 0.0591, 0.5066),
+        "LOF":          (0.2494, 0.2571, 0.1764, 0.1203, 0.5695),
+        "MAS":          (0.4720, 0.4099, 0.3716, 0.3253, 0.7520),
+        "OCSVM":        (0.3414, 0.2944, 0.2626, 0.1927, 0.5783),
+        "MSCRED":       (0.0631, 0.7719, 0.1100, 0.0395, 0.5000),
+        "OMNIANOMALY":  (0.2432, 0.3328, 0.2110, 0.1503, 0.6148),
+        "RNNVAE":       (0.4334, 0.3194, 0.3045, 0.2406, 0.6917),
+        "AE-Ensemble":  (0.3713, 0.3709, 0.2832, 0.2349, 0.6823),
+        "RAE":          (0.4466, 0.3037, 0.3078, 0.2424, 0.6836),
+        "RAE-Ensemble": (0.4684, 0.3318, 0.3332, 0.2639, 0.6998),
+        "CAE":          (0.4625, 0.3804, 0.3895, 0.3299, 0.7416),
+        "CAE-Ensemble": (0.4924, 0.3739, 0.3770, 0.3246, 0.7375),
+    },
+    "msl": {
+        "ISF":          (0.1553, 0.6512, 0.1895, 0.1085, 0.5036),
+        "LOF":          (0.2463, 0.5316, 0.2358, 0.1431, 0.5268),
+        "MAS":          (0.2959, 0.5537, 0.2525, 0.1595, 0.5469),
+        "OCSVM":        (0.2847, 0.5149, 0.2616, 0.1581, 0.5629),
+        "MSCRED":       (0.1243, 0.7747, 0.1874, 0.1166, 0.5072),
+        "OMNIANOMALY":  (0.1936, 0.6297, 0.2414, 0.1609, 0.5429),
+        "RNNVAE":       (0.1641, 0.5639, 0.2125, 0.1378, 0.5335),
+        "AE-Ensemble":  (0.1775, 0.6936, 0.2424, 0.1404, 0.5360),
+        "RAE":          (0.2069, 0.6091, 0.2423, 0.1503, 0.5575),
+        "RAE-Ensemble": (0.2085, 0.5633, 0.2495, 0.1572, 0.5714),
+        "CAE":          (0.2223, 0.5273, 0.2649, 0.1641, 0.5843),
+        "CAE-Ensemble": (0.2501, 0.5343, 0.2713, 0.1633, 0.5963),
+    },
+    "smap": {
+        "ISF":          (0.1396, 0.5298, 0.1986, 0.1300, 0.4979),
+        "LOF":          (0.2261, 0.5178, 0.2027, 0.1289, 0.5005),
+        "MAS":          (0.2819, 0.5174, 0.2542, 0.1655, 0.5233),
+        "OCSVM":        (0.2561, 0.5722, 0.2302, 0.1461, 0.4924),
+        "MSCRED":       (0.1266, 0.8199, 0.1914, 0.1028, 0.4403),
+        "OMNIANOMALY":  (0.2307, 0.6222, 0.2681, 0.1556, 0.5402),
+        "RNNVAE":       (0.1622, 0.5646, 0.1971, 0.1192, 0.5119),
+        "AE-Ensemble":  (0.3134, 0.5895, 0.2939, 0.1780, 0.5496),
+        "RAE":          (0.2071, 0.6316, 0.2381, 0.1476, 0.5390),
+        "RAE-Ensemble": (0.2603, 0.6604, 0.2529, 0.1628, 0.5716),
+        "CAE":          (0.3175, 0.5912, 0.3170, 0.2135, 0.5892),
+        "CAE-Ensemble": (0.3387, 0.6187, 0.3327, 0.2223, 0.6080),
+    },
+    "wadi": {
+        "ISF":          (0.0667, 0.4765, 0.1170, 0.0610, 0.5248),
+        "LOF":          (0.0736, 0.3155, 0.1193, 0.0702, 0.5284),
+        "MAS":          (0.2586, 0.1555, 0.1942, 0.1490, 0.5788),
+        "OCSVM":        (0.0980, 0.2955, 0.1472, 0.1192, 0.5754),
+        "MSCRED":       (0.1382, 0.8590, 0.2377, 0.0993, 0.6730),
+        "OMNIANOMALY":  (0.2996, 0.3976, 0.3404, 0.1723, 0.7261),
+        "RNNVAE":       (0.2881, 0.3147, 0.2867, 0.1734, 0.5739),
+        "AE-Ensemble":  (0.1619, 0.2398, 0.1928, 0.0911, 0.5102),
+        "RAE":          (0.2118, 0.2799, 0.2342, 0.1150, 0.6667),
+        "RAE-Ensemble": (0.2999, 0.2535, 0.2707, 0.1580, 0.6516),
+        "CAE":          (0.2350, 0.3019, 0.2004, 0.1243, 0.5994),
+        "CAE-Ensemble": (0.5006, 0.1995, 0.2853, 0.1911, 0.6023),
+    },
+    "overall": {
+        "ISF":          (0.1008, 0.5669, 0.1426, 0.0818, 0.5078),
+        "LOF":          (0.1698, 0.4552, 0.1661, 0.1025, 0.5233),
+        "MAS":          (0.2751, 0.4528, 0.2377, 0.1714, 0.5870),
+        "OCSVM":        (0.2125, 0.4351, 0.2065, 0.1350, 0.5487),
+        "MSCRED":       (0.1262, 0.7781, 0.1913, 0.0927, 0.5274),
+        "OMNIANOMALY":  (0.2378, 0.4952, 0.2530, 0.1560, 0.5965),
+        "RNNVAE":       (0.2449, 0.4370, 0.2289, 0.1521, 0.5722),
+        "AE-Ensemble":  (0.2404, 0.4727, 0.2379, 0.1498, 0.6078),
+        "RAE":          (0.2365, 0.4867, 0.2406, 0.1549, 0.5747),
+        "RAE-Ensemble": (0.2875, 0.4786, 0.2585, 0.1719, 0.6063),
+        "CAE":          (0.2858, 0.4516, 0.2735, 0.1923, 0.6156),
+        "CAE-Ensemble": (0.3668, 0.4438, 0.3037, 0.2180, 0.6231),
+    },
+}
+
+#: Table 5 — ablation (ECG and SMAP).
+PAPER_ABLATION: Dict[str, Dict[str, MetricRow]] = {
+    "ecg": {
+        "No attention":  (0.1440, 0.4809, 0.1840, 0.1037, 0.5606),
+        "No diversity":  (0.1683, 0.4714, 0.1819, 0.1244, 0.5939),
+        "No ensemble":   (0.1919, 0.4574, 0.1954, 0.1297, 0.5633),
+        "No re-scaling": (0.1806, 0.4819, 0.1741, 0.1130, 0.5379),
+        "CAE-Ensemble":  (0.2522, 0.4924, 0.2521, 0.1887, 0.5715),
+    },
+    "smap": {
+        "No attention":  (0.3290, 0.5763, 0.3049, 0.1957, 0.5605),
+        "No diversity":  (0.3241, 0.5841, 0.3210, 0.2186, 0.5832),
+        "No ensemble":   (0.3175, 0.5912, 0.3170, 0.2135, 0.5892),
+        "No re-scaling": (0.3252, 0.5689, 0.2872, 0.1938, 0.5666),
+        "CAE-Ensemble":  (0.3387, 0.6187, 0.3327, 0.2223, 0.6080),
+    },
+}
+
+#: Table 6 — Eq. 10 ensemble diversity.
+PAPER_DIVERSITY: Dict[str, Dict[str, float]] = {
+    "ecg":  {"No Diversity": 57.0118, "CAE-Ensemble": 94.7425},
+    "smap": {"No Diversity": 16.3409, "CAE-Ensemble": 52.0796},
+}
+
+#: Table 7 — training time in minutes (authors' 2×TITAN RTX testbed).
+PAPER_TRAIN_MINUTES: Dict[str, Dict[str, float]] = {
+    "RAE":          {"ecg": 7.84, "msl": 16.63, "smap": 32.19,
+                     "smd": 246.43, "wadi": 72.32},
+    "RAE-Ensemble": {"ecg": 59.66, "msl": 129.99, "smap": 254.83,
+                     "smd": 1959.13, "wadi": 566.89},
+    "CAE":          {"ecg": 4.16, "msl": 7.65, "smap": 20.36,
+                     "smd": 74.34, "wadi": 22.37},
+    "CAE-Ensemble": {"ecg": 24.05, "msl": 45.45, "smap": 122.13,
+                     "smd": 452.06, "wadi": 129.58},
+}
+
+#: Table 7 — ensemble/basic runtime ratios derived by the authors.
+PAPER_TRAIN_RATIOS: Dict[str, Dict[str, float]] = {
+    "RAE-Ensemble/RAE": {"ecg": 7.60, "msl": 7.82, "smap": 7.92,
+                         "smd": 7.95, "wadi": 7.84},
+    "CAE-Ensemble/CAE": {"ecg": 5.78, "msl": 5.94, "smap": 6.00,
+                         "smd": 6.08, "wadi": 5.79},
+}
+
+#: Table 8 — online inference time per window, milliseconds.
+PAPER_INFERENCE_MS: Dict[str, Dict[str, float]] = {
+    "CAE":          {"ecg": 0.0489, "msl": 0.0517, "smap": 0.0500,
+                     "smd": 0.0465, "wadi": 0.0546},
+    "CAE-Ensemble": {"ecg": 0.0499, "msl": 0.0520, "smap": 0.0505,
+                     "smd": 0.0469, "wadi": 0.0549},
+}
+
+#: Qualitative expectations for the figures (what the reproduction should
+#: show; EXPERIMENTS.md checks these statements).
+PAPER_FIGURE_TRENDS: Dict[str, str] = {
+    "figure13": "Precision/Recall/F1 at top-K% converge near the true "
+                "outlier ratio (≈5% for ECG, ≈12% for SMAP).",
+    "figure14": "The median-error candidate for beta and lambda reaches "
+                "PR/ROC close to the best candidate and better than the "
+                "lowest-error candidate on average.",
+    "figure15": "The median-error window size is not optimal but is "
+                "balanced; accuracy varies moderately across w.",
+    "figure16": "PR/ROC improve with the number of basic models and then "
+                "flatten (clear gain from 1 to ~8, small beyond).",
+    "figure17": "Accuracy is insensitive to the kernel size (3/5/7/9).",
+}

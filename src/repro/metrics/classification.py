@@ -1,0 +1,76 @@
+"""Threshold-dependent detection metrics (Section 4.1.3, 'Specific thresholds').
+
+Given binary ground truth and predictions, computes the confusion counts and
+Precision / Recall / F1 exactly as the paper reports them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfusionCounts:
+    """TP / FP / TN / FN for one thresholding of the outlier scores."""
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+
+def _validate(labels: np.ndarray, predictions: np.ndarray
+              ) -> Tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels).astype(np.int64).reshape(-1)
+    predictions = np.asarray(predictions).astype(np.int64).reshape(-1)
+    if labels.shape != predictions.shape:
+        raise ValueError(f"labels {labels.shape} vs predictions "
+                         f"{predictions.shape}")
+    for arr, name in ((labels, "labels"), (predictions, "predictions")):
+        if not set(np.unique(arr)).issubset({0, 1}):
+            raise ValueError(f"{name} must be binary 0/1")
+    return labels, predictions
+
+
+def confusion_counts(labels: np.ndarray, predictions: np.ndarray
+                     ) -> ConfusionCounts:
+    """Confusion counts treating 1 as the outlier (positive) class."""
+    labels, predictions = _validate(labels, predictions)
+    tp = int(np.sum((labels == 1) & (predictions == 1)))
+    fp = int(np.sum((labels == 0) & (predictions == 1)))
+    tn = int(np.sum((labels == 0) & (predictions == 0)))
+    fn = int(np.sum((labels == 1) & (predictions == 0)))
+    return ConfusionCounts(tp, fp, tn, fn)
+
+
+def precision_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    c = confusion_counts(labels, predictions)
+    return c.tp / (c.tp + c.fp) if (c.tp + c.fp) else 0.0
+
+
+def recall_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    c = confusion_counts(labels, predictions)
+    return c.tp / (c.tp + c.fn) if (c.tp + c.fn) else 0.0
+
+
+def f1_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    c = confusion_counts(labels, predictions)
+    denominator = 2 * c.tp + c.fp + c.fn
+    return 2 * c.tp / denominator if denominator else 0.0
+
+
+def precision_recall_f1(labels: np.ndarray, predictions: np.ndarray
+                        ) -> Tuple[float, float, float]:
+    """All three threshold metrics from one confusion computation."""
+    c = confusion_counts(labels, predictions)
+    precision = c.tp / (c.tp + c.fp) if (c.tp + c.fp) else 0.0
+    recall = c.tp / (c.tp + c.fn) if (c.tp + c.fn) else 0.0
+    denominator = precision + recall
+    f1 = 2 * precision * recall / denominator if denominator else 0.0
+    return precision, recall, f1

@@ -1,0 +1,30 @@
+"""``repro.nn`` — a from-scratch NumPy deep-learning substrate.
+
+The paper's reference implementation is written against PyTorch; this
+package provides the equivalent facilities (reverse-mode autograd, layers,
+optimisers, serialisation) so the reproduction is fully self-contained.
+"""
+
+from . import functional, init
+from .conv import conv1d, resolve_padding
+from .gradcheck import gradcheck, numerical_gradient
+from .lr_scheduler import (CosineAnnealingLR, ExponentialLR, LRScheduler,
+                           StepLR)
+from .modules import (Conv1d, Dropout, Embedding, Linear, Module, Parameter,
+                      ReLU, Sequential, Sigmoid, Tanh)
+from .optim import SGD, Adam, Optimizer, RMSProp
+from .rnn import GRUCell, LSTM, LSTMCell
+from .serialization import load_into, load_state_dict, save_state_dict
+from .tensor import (Tensor, as_tensor, concatenate, is_grad_enabled, no_grad,
+                     ones, randn, stack, tensor, where, zeros)
+
+__all__ = [
+    "Adam", "Conv1d", "CosineAnnealingLR", "Dropout", "Embedding",
+    "ExponentialLR", "GRUCell", "LRScheduler", "LSTM", "LSTMCell", "Linear",
+    "Module", "Optimizer", "Parameter", "RMSProp", "ReLU", "SGD",
+    "Sequential", "Sigmoid", "StepLR", "Tanh", "Tensor", "as_tensor",
+    "concatenate", "conv1d", "functional", "gradcheck", "init",
+    "is_grad_enabled", "load_into", "load_state_dict", "no_grad",
+    "numerical_gradient", "ones", "randn", "resolve_padding",
+    "save_state_dict", "stack", "tensor", "where", "zeros",
+]

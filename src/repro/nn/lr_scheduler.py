@@ -1,0 +1,82 @@
+"""Learning-rate schedules for the optimisers.
+
+The paper trains with a fixed Adam learning rate (1e-3); schedulers are
+provided for the substrate's completeness and for convergence ablations
+(e.g. snapshot-ensemble-style cosine restarts, which the paper contrasts
+its parameter transfer against in Section 3.2.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: mutates ``optimizer.lr`` on every :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = -1
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.last_epoch += 1
+        lr = self.get_lr(self.last_epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` epochs.
+
+    With restarts (``restart=True``) this is the snapshot-ensemble
+    schedule (Huang et al. 2017) the paper distinguishes its parameter
+    transfer from.
+    """
+
+    def __init__(self, optimizer: Optimizer, t_max: int,
+                 eta_min: float = 0.0, restart: bool = False):
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+        self.restart = restart
+
+    def get_lr(self, epoch: int) -> float:
+        position = epoch % self.t_max if self.restart else min(epoch,
+                                                               self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * \
+            (1.0 + math.cos(math.pi * position / self.t_max))

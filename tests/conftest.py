@@ -1,0 +1,48 @@
+"""Shared fixtures: seeded RNGs, tiny datasets and micro training budgets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import TimeSeriesDataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_planted_dataset(length: int = 600, dims: int = 3,
+                         n_outliers: int = 24, magnitude: float = 8.0,
+                         seed: int = 0) -> TimeSeriesDataset:
+    """A small sinusoidal series with obvious planted spikes.
+
+    Train is clean; test has ``n_outliers`` labelled spikes — easy enough
+    that any functioning detector separates them, which makes it a crisp
+    integration oracle.
+    """
+    generator = np.random.default_rng(seed)
+    t = np.arange(2 * length)
+    base = np.stack([np.sin(2 * np.pi * t / (20 + 7 * d)) +
+                     0.05 * generator.standard_normal(t.shape)
+                     for d in range(dims)], axis=1)
+    train, test = base[:length].copy(), base[length:].copy()
+    labels = np.zeros(length, dtype=np.int64)
+    positions = generator.choice(np.arange(10, length - 10),
+                                 size=n_outliers, replace=False)
+    for position in positions:
+        dim = int(generator.integers(dims))
+        test[position, dim] += magnitude * generator.choice([-1.0, 1.0])
+        labels[position] = 1
+    return TimeSeriesDataset("planted", train, test, labels,
+                             outlier_ratio=n_outliers / length)
+
+
+@pytest.fixture
+def planted_dataset():
+    return make_planted_dataset()
+
+
+@pytest.fixture
+def tiny_windows(rng):
+    """A small (N, w, D) window batch for model unit tests."""
+    return rng.standard_normal((40, 8, 3))

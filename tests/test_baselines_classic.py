@@ -1,0 +1,161 @@
+"""Classic (non-neural) baselines: ISF, LOF, OCSVM, MAS."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (IsolationForest, LocalOutlierFactor,
+                             MovingAverageSmoothing, OneClassSVM,
+                             average_path_length, rbf_kernel)
+
+
+def gaussian_with_outliers(n=400, dims=3, n_outliers=12, seed=0):
+    """Dense Gaussian cluster plus a few far-away points."""
+    rng = np.random.default_rng(seed)
+    inliers = rng.normal(0, 1, size=(n, dims))
+    outliers = rng.normal(0, 1, size=(n_outliers, dims)) + 8.0
+    data = np.vstack([inliers, outliers])
+    labels = np.concatenate([np.zeros(n, dtype=int),
+                             np.ones(n_outliers, dtype=int)])
+    return inliers, data, labels
+
+
+def separation(scores, labels):
+    return scores[labels == 1].mean() - scores[labels == 0].mean()
+
+
+class TestAveragePathLength:
+    def test_edge_cases(self):
+        assert average_path_length(0) == 0.0
+        assert average_path_length(1) == 0.0
+        assert average_path_length(2) == 1.0
+
+    def test_monotone_in_n(self):
+        values = [average_path_length(n) for n in (2, 10, 100, 1000)]
+        assert values == sorted(values)
+
+
+class TestIsolationForest:
+    def test_detects_planted_outliers(self):
+        train, test, labels = gaussian_with_outliers()
+        scores = IsolationForest(n_estimators=50).fit(train).score(test)
+        assert separation(scores, labels) > 0.1
+
+    def test_scores_in_unit_interval(self):
+        train, test, _ = gaussian_with_outliers()
+        scores = IsolationForest(n_estimators=20).fit(train).score(test)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_deterministic(self):
+        train, test, _ = gaussian_with_outliers()
+        a = IsolationForest(seed=3).fit(train).score(test)
+        b = IsolationForest(seed=3).fit(train).score(test)
+        np.testing.assert_array_equal(a, b)
+
+    def test_score_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            IsolationForest().score(np.zeros((5, 2)))
+
+    def test_constant_data_no_crash(self):
+        data = np.ones((50, 2))
+        scores = IsolationForest(n_estimators=5).fit(data).score(data)
+        assert np.all(np.isfinite(scores))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IsolationForest(n_estimators=0)
+        with pytest.raises(ValueError):
+            IsolationForest(max_samples=1)
+
+
+class TestLOF:
+    def test_detects_planted_outliers(self):
+        train, test, labels = gaussian_with_outliers()
+        scores = LocalOutlierFactor(n_neighbors=10).fit(train).score(test)
+        assert separation(scores, labels) > 0.5
+
+    def test_inlier_lof_near_one(self):
+        train, test, labels = gaussian_with_outliers()
+        scores = LocalOutlierFactor(n_neighbors=15).fit(train).score(test)
+        inlier_scores = scores[labels == 0]
+        assert 0.8 < np.median(inlier_scores) < 1.5
+
+    def test_training_subsample_cap(self):
+        train, test, _ = gaussian_with_outliers(n=300)
+        detector = LocalOutlierFactor(max_training_points=100)
+        detector.fit(train)
+        assert detector._train.shape[0] == 100
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            LocalOutlierFactor(n_neighbors=20).fit(np.zeros((10, 2)))
+
+    def test_score_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LocalOutlierFactor().score(np.zeros((5, 2)))
+
+
+class TestOCSVM:
+    def test_rbf_kernel_properties(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(5, 3))
+        k = rbf_kernel(a, a, gamma=0.5)
+        np.testing.assert_allclose(np.diag(k), 1.0)
+        np.testing.assert_allclose(k, k.T)
+        assert np.all((k > 0) & (k <= 1.0 + 1e-12))
+
+    def test_detects_planted_outliers(self):
+        train, test, labels = gaussian_with_outliers()
+        scores = OneClassSVM(nu=0.1).fit(train).score(test)
+        assert separation(scores, labels) > 0.1
+
+    def test_dual_constraints_hold(self):
+        train, _, _ = gaussian_with_outliers(n=150)
+        detector = OneClassSVM(nu=0.5, max_training_points=150).fit(train)
+        alpha = detector._alpha
+        upper = 1.0 / (0.5 * len(alpha))
+        assert np.all(alpha >= -1e-10)
+        assert np.all(alpha <= upper + 1e-10)
+        assert np.sum(alpha) == pytest.approx(1.0)
+
+    def test_nu_bounds_training_outlier_fraction(self):
+        """ν upper-bounds the fraction of training points outside the
+        region (the ν-property, approximately for a converged solver)."""
+        train, _, _ = gaussian_with_outliers(n=300, n_outliers=0)
+        detector = OneClassSVM(nu=0.2, max_iter=5000).fit(train)
+        decisions = detector.decision_function(train)
+        outside = float((decisions < -1e-8).mean())
+        assert outside <= 0.3
+
+    def test_invalid_nu(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=0.0)
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=1.5)
+
+    def test_score_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            OneClassSVM().score(np.zeros((5, 2)))
+
+
+class TestMAS:
+    def test_spike_scores_higher_than_smooth_region(self):
+        t = np.arange(300.0)
+        series = np.sin(t / 10).reshape(-1, 1)
+        series[150, 0] += 5.0
+        detector = MovingAverageSmoothing(window=10).fit(series)
+        scores = detector.score(series)
+        assert scores[150] > 10 * np.median(scores)
+
+    def test_constant_series_scores_zero(self):
+        series = np.ones((100, 2))
+        scores = MovingAverageSmoothing(window=8).fit(series).score(series)
+        np.testing.assert_allclose(scores, 0.0, atol=1e-20)
+
+    def test_score_length(self):
+        series = np.random.default_rng(0).random((123, 4))
+        scores = MovingAverageSmoothing(window=16).fit(series).score(series)
+        assert scores.shape == (123,)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MovingAverageSmoothing(window=1)

@@ -1,0 +1,209 @@
+"""Neural baselines: AE-Ensemble, RAE(-Ensemble), MSCRED, RNNVAE, Omni."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (AEEnsemble, MSCRED, MaskedLinear, OmniAnomaly,
+                             RAE, RAEEnsemble, RNNVAE, RecurrentAutoencoder,
+                             block_average, signature_matrices)
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def spiky_series():
+    """Sinusoid train + test with strong planted spikes."""
+    rng = np.random.default_rng(3)
+    t = np.arange(500)
+    base = np.stack([np.sin(2 * np.pi * t / 25),
+                     np.cos(2 * np.pi * t / 40)], axis=1)
+    train = base[:300] + 0.05 * rng.standard_normal((300, 2))
+    test = base[200:] + 0.05 * rng.standard_normal((300, 2))
+    labels = np.zeros(300, dtype=int)
+    for position in (50, 120, 200, 260):
+        test[position] += 6.0
+        labels[position] = 1
+    return train, test, labels
+
+
+def detector_kwargs():
+    return dict(window=8, epochs=3, max_training_windows=150, seed=0)
+
+
+def assert_detects(scores, labels, factor=2.0):
+    assert scores.shape == labels.shape
+    assert scores[labels == 1].mean() > factor * scores[labels == 0].mean()
+
+
+class TestMaskedLinear:
+    def test_masked_connections_stay_zero(self):
+        rng = np.random.default_rng(0)
+        layer = MaskedLinear(10, 10, drop_probability=0.5, rng=rng)
+        effective = layer.inner.weight.data * layer._mask
+        assert np.any(layer._mask == 0.0)
+        out = layer(Tensor(np.eye(10)))
+        np.testing.assert_allclose(out.data,
+                                   effective.T + layer.inner.bias.data)
+
+    def test_every_unit_keeps_an_input(self):
+        rng = np.random.default_rng(1)
+        layer = MaskedLinear(4, 50, drop_probability=0.95, rng=rng)
+        assert np.all(layer._mask.sum(axis=1) >= 1)
+
+
+class TestAEEnsemble:
+    def test_detects_spikes(self, spiky_series):
+        train, test, labels = spiky_series
+        detector = AEEnsemble(n_models=3, **detector_kwargs())
+        assert_detects(detector.fit_score(train, test), labels)
+
+    def test_models_have_distinct_masks(self, spiky_series):
+        train, _, _ = spiky_series
+        detector = AEEnsemble(n_models=3, **detector_kwargs()).fit(train)
+        masks = [m.enc1._mask for m in detector.models]
+        assert not np.array_equal(masks[0], masks[1])
+
+
+class TestRAE:
+    def test_reconstruction_shape(self):
+        rng = np.random.default_rng(0)
+        model = RecurrentAutoencoder(3, 8, rng)
+        out = model(Tensor(rng.standard_normal((4, 6, 3))))
+        assert out.shape == (4, 6, 3)
+
+    def test_detects_spikes(self, spiky_series):
+        train, test, labels = spiky_series
+        detector = RAE(hidden_size=16, **detector_kwargs())
+        assert_detects(detector.fit_score(train, test), labels)
+
+    def test_recurrent_drop_sparsifies(self):
+        rng = np.random.default_rng(0)
+        model = RecurrentAutoencoder(3, 16, rng, recurrent_drop=0.5)
+        drop_fraction = float(
+            (model.encoder_cell.recurrent_mask == 0.0).mean())
+        assert 0.3 < drop_fraction < 0.7
+
+    def test_dropped_connections_stay_dropped_through_training(self):
+        """The mask must hold during training, not just at initialisation."""
+        rng = np.random.default_rng(0)
+        model = RecurrentAutoencoder(2, 8, rng, recurrent_drop=0.4)
+        windows = rng.standard_normal((30, 6, 2))
+        from repro.baselines.training import train_reconstruction_model
+        from repro.nn.functional import mse_loss
+        train_reconstruction_model(
+            model, windows, lambda m, b: mse_loss(m(b), b), epochs=2,
+            batch_size=16, learning_rate=1e-3, rng=rng)
+        mask = model.encoder_cell.recurrent_mask
+        effective = model.encoder_cell.weight_hh.data * mask
+        # The *effective* recurrent weight used in forward passes is exactly
+        # zero wherever the mask dropped a connection.
+        np.testing.assert_array_equal(effective[mask == 0.0], 0.0)
+
+
+class TestRAEEnsemble:
+    def test_detects_spikes(self, spiky_series):
+        train, test, labels = spiky_series
+        detector = RAEEnsemble(n_models=2, hidden_size=16,
+                               **detector_kwargs())
+        assert_detects(detector.fit_score(train, test), labels)
+
+    def test_models_structurally_different(self, spiky_series):
+        train, _, _ = spiky_series
+        detector = RAEEnsemble(n_models=2, hidden_size=16,
+                               **detector_kwargs()).fit(train)
+        m0 = detector.models[0].encoder_cell.recurrent_mask
+        m1 = detector.models[1].encoder_cell.recurrent_mask
+        assert not np.array_equal(m0, m1)
+
+
+class TestMSCRED:
+    def test_block_average_reduces_dims(self):
+        windows = np.random.default_rng(0).random((5, 8, 40))
+        reduced = block_average(windows, 10)
+        assert reduced.shape == (5, 8, 10)
+
+    def test_block_average_passthrough_when_small(self):
+        windows = np.random.default_rng(0).random((5, 8, 4))
+        assert block_average(windows, 10).shape == (5, 8, 4)
+
+    def test_signature_matrices_shape(self):
+        windows = np.random.default_rng(0).random((6, 8, 3))
+        features = signature_matrices(windows, [8, 4])
+        assert features.shape == (6, 2 * 9)
+
+    def test_signature_matrix_values(self):
+        windows = np.ones((1, 4, 2))
+        features = signature_matrices(windows, [4])
+        # X^T X / 4 for all-ones window = matrix of ones.
+        np.testing.assert_allclose(features, 1.0)
+
+    def test_detects_spikes(self, spiky_series):
+        train, test, labels = spiky_series
+        detector = MSCRED(**detector_kwargs())
+        scores = detector.fit_score(train, test)
+        # MSCRED smears scores over windows; separation is weaker but the
+        # labelled observations must still rank above the background.
+        assert scores[labels == 1].mean() > scores[labels == 0].mean()
+
+    def test_whole_window_shares_signature_score(self, spiky_series):
+        train, _, _ = spiky_series
+        detector = MSCRED(**detector_kwargs()).fit(train)
+        windows = np.random.default_rng(0).random((4, 8, 2))
+        window_scores = detector._score_windows(windows)
+        for row in window_scores:
+            np.testing.assert_allclose(row, row[0])
+
+
+class TestVariationalBaselines:
+    def test_rnnvae_detects_spikes(self, spiky_series):
+        train, test, labels = spiky_series
+        detector = RNNVAE(hidden_size=16, latent_size=8, **detector_kwargs())
+        assert_detects(detector.fit_score(train, test), labels)
+
+    def test_omni_detects_spikes(self, spiky_series):
+        train, test, labels = spiky_series
+        detector = OmniAnomaly(hidden_size=16, latent_size=8,
+                               **detector_kwargs())
+        assert_detects(detector.fit_score(train, test), labels)
+
+    def test_rnnvae_scoring_deterministic(self, spiky_series):
+        """Scoring uses z = mu — repeated scoring must be identical."""
+        train, test, _ = spiky_series
+        detector = RNNVAE(hidden_size=16, latent_size=8,
+                          **detector_kwargs()).fit(train)
+        np.testing.assert_array_equal(detector.score(test),
+                                      detector.score(test))
+
+    def test_omni_latent_chain_feeds_forward(self):
+        """Changing an early observation must affect later latents (the
+        temporal chain property distinguishing Omni from RNNVAE)."""
+        rng = np.random.default_rng(0)
+        from repro.baselines.omnianomaly import _OmniModel
+        model = _OmniModel(2, 8, 4, rng)
+        x1 = rng.standard_normal((1, 6, 2))
+        x2 = x1.copy()
+        x2[0, 0] += 5.0          # perturb only the first step
+        _, mu1, _ = model(Tensor(x1))
+        _, mu2, _ = model(Tensor(x2))
+        assert not np.allclose(mu1.data[0, -1], mu2.data[0, -1])
+
+
+class TestWindowedDetectorContract:
+    def test_score_before_fit_raises(self, spiky_series):
+        _, test, _ = spiky_series
+        with pytest.raises(RuntimeError):
+            RAE(**detector_kwargs()).score(test)
+
+    def test_training_window_cap_respected(self, spiky_series):
+        train, _, _ = spiky_series
+        detector = AEEnsemble(n_models=1, window=8, epochs=1,
+                              max_training_windows=50, seed=0)
+        captured = {}
+        original = detector._fit_windows
+
+        def spy(windows):
+            captured["n"] = windows.shape[0]
+            return original(windows)
+
+        detector._fit_windows = spy
+        detector.fit(train)
+        assert captured["n"] == 50

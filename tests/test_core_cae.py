@@ -1,0 +1,221 @@
+"""Unit tests for the CAE architecture: embedding, coders, attention, model."""
+
+import numpy as np
+import pytest
+
+from repro.core import CAE, CAEConfig, GlobalAttention, InputEmbedding
+from repro.core.layers import DecoderLayer, Encoder, EncoderLayer, GLUConv
+from repro.nn import Adam, Tensor
+from repro.nn.functional import mse_loss
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(33)
+
+
+@pytest.fixture
+def config():
+    return CAEConfig(input_dim=3, embed_dim=16, window=8, n_layers=2,
+                     kernel_size=3)
+
+
+class TestConfigValidation:
+    def test_valid(self):
+        CAEConfig(input_dim=2)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"input_dim": 0}, {"input_dim": 2, "embed_dim": 0},
+        {"input_dim": 2, "window": 1}, {"input_dim": 2, "n_layers": 0},
+        {"input_dim": 2, "kernel_size": 4},
+        {"input_dim": 2, "kernel_size": -1},
+        {"input_dim": 2, "reconstruct": "bogus"},
+        {"input_dim": 2, "position_mode": "bogus"},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            CAEConfig(**kwargs)
+
+    def test_output_dim(self):
+        assert CAEConfig(input_dim=5).output_dim == 5
+        assert CAEConfig(input_dim=5, embed_dim=7,
+                         reconstruct="embedding").output_dim == 7
+
+
+class TestEmbedding:
+    def test_output_shape(self, config, rng):
+        embedding = InputEmbedding(config, rng)
+        out = embedding(Tensor(rng.standard_normal((5, 8, 3))))
+        assert out.shape == (5, 8, 16)
+
+    def test_positions_are_distinct(self, config, rng):
+        embedding = InputEmbedding(config, rng)
+        positions = embedding.position_vectors().data
+        # No two positions should collide (information would be lost).
+        for i in range(positions.shape[0]):
+            for j in range(i + 1, positions.shape[0]):
+                assert not np.allclose(positions[i], positions[j])
+
+    def test_table_mode(self, rng):
+        config = CAEConfig(input_dim=3, embed_dim=16, window=8,
+                           position_mode="table")
+        embedding = InputEmbedding(config, rng)
+        assert embedding.position_vectors().shape == (8, 16)
+
+    def test_position_added_to_values(self, config, rng):
+        """Same observation at different positions embeds differently."""
+        embedding = InputEmbedding(config, rng)
+        windows = np.zeros((1, 8, 3))
+        out = embedding(Tensor(windows)).data
+        assert not np.allclose(out[0, 0], out[0, 5])
+
+    def test_rejects_wrong_shapes(self, config, rng):
+        embedding = InputEmbedding(config, rng)
+        with pytest.raises(ValueError):
+            embedding(Tensor(np.zeros((5, 8))))          # 2-D
+        with pytest.raises(ValueError):
+            embedding(Tensor(np.zeros((5, 9, 3))))       # wrong window
+        with pytest.raises(ValueError):
+            embedding(Tensor(np.zeros((5, 8, 4))))       # wrong dims
+
+
+class TestLayers:
+    def test_glu_gates_between_zero_and_value(self, rng):
+        glu = GLUConv(4, 3, "same", rng)
+        out = glu(Tensor(rng.standard_normal((2, 4, 6))))
+        assert out.shape == (2, 4, 6)
+
+    def test_encoder_layer_preserves_shape(self, rng):
+        layer = EncoderLayer(4, 3, rng)
+        out = layer(Tensor(rng.standard_normal((2, 4, 6))))
+        assert out.shape == (2, 4, 6)
+
+    def test_encoder_returns_all_layer_states(self, rng):
+        encoder = Encoder(4, 3, 3, rng)
+        states = encoder(Tensor(rng.standard_normal((2, 4, 6))))
+        assert len(states) == 3
+        assert all(s.shape == (2, 4, 6) for s in states)
+
+    def test_skip_connection_present(self, rng):
+        """Zeroing the conv weights must reduce the layer to identity."""
+        layer = EncoderLayer(4, 3, rng, use_glu=False)
+        layer.conv.weight.data[...] = 0.0
+        layer.conv.bias.data[...] = 0.0
+        x = rng.standard_normal((1, 4, 5))
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(out.data, x)   # relu(0) + x == x
+
+    def test_decoder_layer_uses_encoder_state(self, rng):
+        layer = DecoderLayer(4, 3, rng)
+        x = Tensor(rng.standard_normal((2, 4, 6)))
+        e1 = Tensor(rng.standard_normal((2, 4, 6)))
+        e2 = Tensor(rng.standard_normal((2, 4, 6)))
+        assert not np.allclose(layer(x, e1).data, layer(x, e2).data)
+
+    def test_decoder_causality(self, rng):
+        """Future inputs must not affect earlier decoder outputs."""
+        layer = DecoderLayer(3, 3, rng)
+        x1 = rng.standard_normal((1, 3, 10))
+        x2 = x1.copy()
+        x2[:, :, 6:] += 1.0
+        zeros = Tensor(np.zeros((1, 3, 10)))
+        y1 = layer(Tensor(x1), zeros).data
+        y2 = layer(Tensor(x2), zeros).data
+        np.testing.assert_allclose(y1[:, :, :6], y2[:, :, :6], atol=1e-12)
+
+
+class TestAttention:
+    def test_weights_are_probabilities(self, rng):
+        attention = GlobalAttention(4, rng)
+        d = Tensor(rng.standard_normal((2, 4, 6)))
+        e = Tensor(rng.standard_normal((2, 4, 6)))
+        updated, weights = attention(d, e)
+        assert updated.shape == (2, 4, 6)
+        assert weights.shape == (2, 6, 6)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), 1.0,
+                                   atol=1e-10)
+        assert np.all(weights.data >= 0)
+
+    def test_context_changes_decoder_state(self, rng):
+        attention = GlobalAttention(4, rng)
+        d = Tensor(rng.standard_normal((1, 4, 5)))
+        e = Tensor(rng.standard_normal((1, 4, 5)))
+        updated, _ = attention(d, e)
+        assert not np.allclose(updated.data, d.data)
+
+
+class TestCAEModel:
+    def test_forward_shape_observation_mode(self, config, rng):
+        model = CAE(config, rng)
+        out = model(Tensor(rng.standard_normal((4, 8, 3))))
+        assert out.shape == (4, 8, 3)
+
+    def test_forward_shape_embedding_mode(self, rng):
+        config = CAEConfig(input_dim=3, embed_dim=16, window=8, n_layers=2,
+                           reconstruct="embedding")
+        model = CAE(config, rng)
+        out = model(Tensor(rng.standard_normal((4, 8, 3))))
+        assert out.shape == (4, 8, 16)
+
+    def test_no_attention_variant(self, rng):
+        config = CAEConfig(input_dim=3, embed_dim=16, window=8, n_layers=2,
+                           use_attention=False)
+        model = CAE(config, rng)
+        assert model(Tensor(rng.standard_normal((2, 8, 3)))).shape == \
+            (2, 8, 3)
+        assert model.attention_maps(rng.standard_normal((2, 8, 3))) == []
+
+    def test_no_glu_variant(self, rng):
+        config = CAEConfig(input_dim=3, embed_dim=16, window=8, n_layers=2,
+                           use_glu=False)
+        model = CAE(config, rng)
+        assert model(Tensor(rng.standard_normal((2, 8, 3)))).shape == \
+            (2, 8, 3)
+
+    def test_window_scores_shape_and_nonnegative(self, config, rng):
+        model = CAE(config, rng)
+        windows = rng.standard_normal((10, 8, 3))
+        scores = model.window_scores(windows)
+        assert scores.shape == (10, 8)
+        assert np.all(scores >= 0)
+
+    def test_training_reduces_loss(self, config, rng):
+        model = CAE(config, rng)
+        windows = Tensor(rng.standard_normal((32, 8, 3)) * 0.5)
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        initial = None
+        for step in range(30):
+            optimizer.zero_grad()
+            loss = mse_loss(model(windows),
+                            model.reconstruction_target(windows))
+            loss.backward()
+            optimizer.step()
+            if initial is None:
+                initial = float(loss.data)
+        assert float(loss.data) < 0.5 * initial
+
+    def test_attention_maps_per_layer(self, config, rng):
+        model = CAE(config, rng)
+        maps = model.attention_maps(rng.standard_normal((3, 8, 3)))
+        assert len(maps) == config.n_layers
+        assert all(m.shape == (3, 8, 8) for m in maps)
+
+    def test_deterministic_given_seed(self, config):
+        a = CAE(config, np.random.default_rng(5))
+        b = CAE(config, np.random.default_rng(5))
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 8, 3)))
+        np.testing.assert_array_equal(a(x).data, b(x).data)
+
+    def test_different_seeds_differ(self, config):
+        a = CAE(config, np.random.default_rng(5))
+        b = CAE(config, np.random.default_rng(6))
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 8, 3)))
+        assert not np.allclose(a(x).data, b(x).data)
+
+    def test_embedding_target_is_detached(self, rng):
+        config = CAEConfig(input_dim=3, embed_dim=16, window=8,
+                           reconstruct="embedding")
+        model = CAE(config, rng)
+        target = model.reconstruction_target(
+            Tensor(rng.standard_normal((2, 8, 3))))
+        assert not target.requires_grad

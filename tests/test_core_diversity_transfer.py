@@ -1,0 +1,178 @@
+"""Diversity metrics (Eqs. 9-13) and parameter transfer (Fig. 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (CAE, CAEConfig, diversity_driven_loss, diversity_term,
+                        ensemble_diversity, pairwise_diversity,
+                        reconstruction_loss, transfer_parameters)
+from repro.nn import Linear, Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestPairwiseDiversity:
+    def test_identical_outputs_zero(self):
+        out = np.ones((4, 3))
+        assert pairwise_diversity(out, out) == 0.0
+
+    def test_hand_computed(self):
+        a = np.zeros((2, 2))
+        b = np.ones((2, 2))
+        assert pairwise_diversity(a, b) == pytest.approx(2.0)  # sqrt(4)
+
+    def test_symmetry(self, rng):
+        a, b = rng.random((3, 4)), rng.random((3, 4))
+        assert pairwise_diversity(a, b) == pairwise_diversity(b, a)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_diversity(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    @given(scale=st.floats(0.1, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_scales_linearly(self, scale):
+        rng = np.random.default_rng(0)
+        a, b = rng.random((3, 3)), rng.random((3, 3))
+        base = pairwise_diversity(a, b)
+        scaled = pairwise_diversity(scale * a, scale * b)
+        assert scaled == pytest.approx(scale * base, rel=1e-9)
+
+
+class TestEnsembleDiversity:
+    def test_single_model_zero(self):
+        assert ensemble_diversity([np.ones((2, 2))]) == 0.0
+
+    def test_two_models_equals_pairwise(self, rng):
+        a, b = rng.random((3, 3)), rng.random((3, 3))
+        assert ensemble_diversity([a, b]) == \
+            pytest.approx(pairwise_diversity(a, b))
+
+    def test_three_models_average(self, rng):
+        outputs = [rng.random((2, 2)) for _ in range(3)]
+        expected = (pairwise_diversity(outputs[0], outputs[1]) +
+                    pairwise_diversity(outputs[0], outputs[2]) +
+                    pairwise_diversity(outputs[1], outputs[2])) / 3.0
+        assert ensemble_diversity(outputs) == pytest.approx(expected)
+
+    def test_clones_have_zero_diversity(self, rng):
+        out = rng.random((4, 4))
+        assert ensemble_diversity([out, out.copy(), out.copy()]) == 0.0
+
+
+class TestObjective:
+    def test_reconstruction_loss_is_mse(self, rng):
+        pred = Tensor(rng.random((3, 4)))
+        target = Tensor(rng.random((3, 4)))
+        expected = np.mean((pred.data - target.data) ** 2)
+        assert float(reconstruction_loss(pred, target).data) == \
+            pytest.approx(expected)
+
+    def test_diversity_term_is_mean_squared_distance(self, rng):
+        pred = Tensor(rng.random((3, 4)))
+        ensemble = rng.random((3, 4))
+        expected = np.mean((pred.data - ensemble) ** 2)
+        assert float(diversity_term(pred, ensemble).data) == \
+            pytest.approx(expected)
+
+    def test_lambda_zero_equals_pure_reconstruction(self, rng):
+        pred = Tensor(rng.random((3, 4)), requires_grad=True)
+        target = Tensor(rng.random((3, 4)))
+        ensemble = rng.random((3, 4))
+        combined = diversity_driven_loss(pred, target, ensemble, 0.0)
+        pure = reconstruction_loss(pred, target)
+        assert float(combined.data) == pytest.approx(float(pure.data))
+
+    def test_diversity_lowers_the_loss(self, rng):
+        """A model far from the ensemble has lower (more optimal) loss."""
+        target = Tensor(rng.random((3, 4)))
+        ensemble = np.zeros((3, 4))
+        near = Tensor(ensemble + 0.01)
+        far = Tensor(ensemble + 1.0)
+        loss_near = diversity_driven_loss(near, target, ensemble, 1.0)
+        loss_far = diversity_driven_loss(far, target, ensemble, 1.0)
+        # Reconstruction differs too, so compare the diversity parts only.
+        k_near = float(diversity_term(near, ensemble).data)
+        k_far = float(diversity_term(far, ensemble).data)
+        assert k_far > k_near
+        assert float(loss_far.data) - float(loss_near.data) < \
+            float(reconstruction_loss(far, target).data) - \
+            float(reconstruction_loss(near, target).data)
+
+    def test_saturation_bounds_the_reward(self, rng):
+        """Even an enormous diversity cannot push the loss below
+        J − λ·saturation (the runaway guard)."""
+        target = Tensor(np.zeros((2, 2)))
+        ensemble = np.zeros((2, 2))
+        pred = Tensor(np.full((2, 2), 1e6))
+        lam, saturation = 64.0, 1.0
+        loss = diversity_driven_loss(pred, target, ensemble, lam,
+                                     saturation=saturation)
+        j = float(reconstruction_loss(pred, target).data)
+        assert float(loss.data) >= j - lam * saturation - 1e-6
+
+    def test_gradient_flows_through_both_terms(self, rng):
+        pred = Tensor(rng.random((2, 3)), requires_grad=True)
+        target = Tensor(rng.random((2, 3)))
+        ensemble = rng.random((2, 3))
+        loss = diversity_driven_loss(pred, target, ensemble, 0.5)
+        loss.backward()
+        assert pred.grad is not None and np.any(pred.grad != 0)
+
+
+class TestTransfer:
+    def _pair(self, rng):
+        config = CAEConfig(input_dim=2, embed_dim=8, window=4, n_layers=1)
+        return (CAE(config, np.random.default_rng(1)),
+                CAE(config, np.random.default_rng(2)))
+
+    def test_beta_one_copies_everything(self, rng):
+        source, target = self._pair(rng)
+        report = transfer_parameters(source, target, 1.0, rng)
+        assert report.copied_fraction == 1.0
+        for (_, p_source), (_, p_target) in zip(source.named_parameters(),
+                                                target.named_parameters()):
+            np.testing.assert_array_equal(p_source.data, p_target.data)
+
+    def test_beta_zero_copies_nothing(self, rng):
+        source, target = self._pair(rng)
+        before = {name: p.data.copy()
+                  for name, p in target.named_parameters()}
+        report = transfer_parameters(source, target, 0.0, rng)
+        assert report.copied_parameters == 0
+        for name, p in target.named_parameters():
+            np.testing.assert_array_equal(p.data, before[name])
+
+    @given(beta=st.floats(0.1, 0.9))
+    @settings(max_examples=10, deadline=None)
+    def test_fraction_statistically_close(self, beta):
+        rng = np.random.default_rng(int(beta * 1000))
+        config = CAEConfig(input_dim=2, embed_dim=16, window=4, n_layers=2)
+        source = CAE(config, np.random.default_rng(1))
+        target = CAE(config, np.random.default_rng(2))
+        report = transfer_parameters(source, target, beta, rng)
+        assert abs(report.copied_fraction - beta) < 0.05
+
+    def test_invalid_beta(self, rng):
+        source, target = self._pair(rng)
+        with pytest.raises(ValueError):
+            transfer_parameters(source, target, 1.5, rng)
+
+    def test_structural_mismatch_raises(self, rng):
+        source = Linear(2, 3, rng)
+        target = Linear(3, 2, rng)
+        with pytest.raises(ValueError):
+            transfer_parameters(source, target, 0.5, rng)
+
+    def test_source_unchanged(self, rng):
+        source, target = self._pair(rng)
+        before = {name: p.data.copy()
+                  for name, p in source.named_parameters()}
+        transfer_parameters(source, target, 0.7, rng)
+        for name, p in source.named_parameters():
+            np.testing.assert_array_equal(p.data, before[name])

@@ -1,0 +1,179 @@
+"""CAE-Ensemble training and scoring (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig
+
+
+@pytest.fixture
+def small_series():
+    rng = np.random.default_rng(4)
+    t = np.arange(400)
+    series = np.stack([np.sin(2 * np.pi * t / 25),
+                       np.cos(2 * np.pi * t / 40)], axis=1)
+    return series + 0.05 * rng.standard_normal(series.shape)
+
+
+def quick_ensemble(n_models=2, epochs=2, **overrides):
+    cae = CAEConfig(input_dim=2, embed_dim=12, window=8, n_layers=1)
+    defaults = dict(n_models=n_models, epochs_per_model=epochs,
+                    batch_size=32, max_training_windows=200, seed=7)
+    defaults.update(overrides)
+    return CAEEnsemble(cae, EnsembleConfig(**defaults))
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_models": 0}, {"epochs_per_model": 0},
+        {"transfer_fraction": 1.5}, {"diversity_weight": -1.0},
+        {"batch_size": 0}, {"learning_rate": 0.0},
+        {"aggregation": "mode"},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            EnsembleConfig(**kwargs)
+
+
+class TestTraining:
+    def test_fit_produces_m_models(self, small_series):
+        ensemble = quick_ensemble(n_models=3).fit(small_series)
+        assert ensemble.n_models == 3
+
+    def test_history_records_all_epochs(self, small_series):
+        ensemble = quick_ensemble(n_models=2, epochs=3).fit(small_series)
+        assert len(ensemble.history) == 6
+        assert ensemble.history[0].model_index == 0
+        assert ensemble.history[-1].model_index == 1
+
+    def test_loss_decreases_within_first_model(self, small_series):
+        ensemble = quick_ensemble(n_models=1, epochs=5).fit(small_series)
+        losses = [r.loss for r in ensemble.history]
+        assert losses[-1] < losses[0]
+
+    def test_transfer_reports_one_per_later_model(self, small_series):
+        ensemble = quick_ensemble(n_models=3,
+                                  transfer_fraction=0.5).fit(small_series)
+        assert len(ensemble.transfer_reports) == 2
+        for report in ensemble.transfer_reports:
+            assert 0.3 < report.copied_fraction < 0.7
+
+    def test_no_transfer_when_beta_zero(self, small_series):
+        ensemble = quick_ensemble(n_models=2,
+                                  transfer_fraction=0.0).fit(small_series)
+        assert ensemble.transfer_reports == []
+
+    def test_diversity_term_recorded_for_later_models(self, small_series):
+        ensemble = quick_ensemble(n_models=2,
+                                  diversity_weight=1.0).fit(small_series)
+        first = [r for r in ensemble.history if r.model_index == 0]
+        second = [r for r in ensemble.history if r.model_index == 1]
+        assert all(r.diversity == 0.0 for r in first)
+        assert any(r.diversity > 0.0 for r in second)
+
+    def test_train_seconds_recorded(self, small_series):
+        ensemble = quick_ensemble().fit(small_series)
+        assert ensemble.train_seconds_ > 0.0
+
+    def test_deterministic_given_seed(self, small_series):
+        a = quick_ensemble(seed=3).fit(small_series).score(small_series)
+        b = quick_ensemble(seed=3).fit(small_series).score(small_series)
+        np.testing.assert_array_equal(a, b)
+
+    def test_dim_mismatch_raises(self, small_series):
+        ensemble = quick_ensemble()
+        with pytest.raises(ValueError):
+            ensemble.fit(np.zeros((100, 5)))
+
+    def test_rejects_1d_series(self):
+        with pytest.raises(ValueError):
+            quick_ensemble().fit(np.zeros(100))
+
+
+class TestScoring:
+    def test_score_length_matches_series(self, small_series):
+        ensemble = quick_ensemble().fit(small_series)
+        scores = ensemble.score(small_series)
+        assert scores.shape == (small_series.shape[0],)
+        assert np.all(scores >= 0)
+
+    def test_score_before_fit_raises(self, small_series):
+        with pytest.raises(RuntimeError):
+            quick_ensemble().score(small_series)
+
+    def test_n_models_prefix_scoring(self, small_series):
+        ensemble = quick_ensemble(n_models=3).fit(small_series)
+        one = ensemble.score(small_series, n_models=1)
+        three = ensemble.score(small_series, n_models=3)
+        assert one.shape == three.shape
+        assert not np.allclose(one, three)
+
+    def test_n_models_zero_raises(self, small_series):
+        ensemble = quick_ensemble(n_models=2).fit(small_series)
+        with pytest.raises(ValueError):
+            ensemble.score(small_series, n_models=0)
+
+    def test_median_vs_mean_aggregation(self, small_series):
+        median = quick_ensemble(n_models=3, aggregation="median")
+        mean = quick_ensemble(n_models=3, aggregation="mean")
+        s_median = median.fit(small_series).score(small_series)
+        s_mean = mean.fit(small_series).score(small_series)
+        assert not np.allclose(s_median, s_mean)
+
+    def test_score_window_matches_batch_path(self, small_series):
+        """Online scoring of window i must equal the batch score of the
+        corresponding observation (Figure 10 tail entries)."""
+        ensemble = quick_ensemble().fit(small_series)
+        w = ensemble.cae_config.window
+        batch_scores = ensemble.score(small_series)
+        for i in (50, 100, 200):
+            window = small_series[i - w + 1:i + 1]
+            online = ensemble.score_window(window)
+            assert online == pytest.approx(batch_scores[i], rel=1e-9)
+
+    def test_score_window_shape_validation(self, small_series):
+        ensemble = quick_ensemble().fit(small_series)
+        with pytest.raises(ValueError):
+            ensemble.score_window(np.zeros((3, 2)))
+
+    def test_detect_with_ratio(self, small_series):
+        ensemble = quick_ensemble().fit(small_series)
+        predictions = ensemble.detect(small_series, ratio=0.05)
+        assert predictions.sum() == pytest.approx(
+            0.05 * small_series.shape[0], abs=2)
+
+    def test_detect_with_threshold(self, small_series):
+        ensemble = quick_ensemble().fit(small_series)
+        scores = ensemble.score(small_series)
+        predictions = ensemble.detect(small_series,
+                                      threshold=float(np.median(scores)))
+        assert 0 < predictions.sum() < small_series.shape[0]
+
+    def test_detect_requires_threshold_or_ratio(self, small_series):
+        ensemble = quick_ensemble().fit(small_series)
+        with pytest.raises(ValueError):
+            ensemble.detect(small_series)
+
+    def test_no_rescale_mode(self, small_series):
+        ensemble = quick_ensemble(rescale=False).fit(small_series)
+        assert ensemble.scaler is None
+        assert ensemble.score(small_series).shape == \
+            (small_series.shape[0],)
+
+
+class TestDiversityBehaviour:
+    def test_diversity_weight_raises_ensemble_diversity(self, small_series):
+        """The Table 6 claim: training with the diversity objective yields a
+        more diverse ensemble than independent training."""
+        plain = quick_ensemble(n_models=3, diversity_weight=0.0,
+                               transfer_fraction=0.0, epochs=3)
+        driven = quick_ensemble(n_models=3, diversity_weight=2.0,
+                                transfer_fraction=0.5, epochs=3)
+        d_plain = plain.fit(small_series).diversity(small_series[:150])
+        d_driven = driven.fit(small_series).diversity(small_series[:150])
+        assert d_driven > d_plain
+
+    def test_validation_reconstruction_error_positive(self, small_series):
+        ensemble = quick_ensemble().fit(small_series)
+        error = ensemble.validation_reconstruction_error(small_series[:100])
+        assert error > 0.0

@@ -1,0 +1,105 @@
+"""Unsupervised hyperparameter selection (Algorithm 2, median strategy)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (CAEConfig, EnsembleConfig, Trial, median_trial,
+                        select_hyperparameters)
+from repro.core.hyperparams import (DEFAULT_BETA_RANGE, DEFAULT_LAMBDA_RANGE,
+                                    DEFAULT_WINDOW_RANGE,
+                                    PAPER_SELECTED_HYPERPARAMETERS)
+
+
+def trial(error, window=8, beta=0.5, lam=1.0):
+    return Trial(window=window, beta=beta, lam=lam,
+                 reconstruction_error=error)
+
+
+class TestMedianTrial:
+    def test_odd_count_true_median(self):
+        trials = [trial(e) for e in (5.0, 1.0, 3.0)]
+        assert median_trial(trials).reconstruction_error == 3.0
+
+    def test_even_count_lower_median(self):
+        trials = [trial(e) for e in (4.0, 1.0, 3.0, 2.0)]
+        assert median_trial(trials).reconstruction_error == 2.0
+
+    def test_single_trial(self):
+        assert median_trial([trial(7.0)]).reconstruction_error == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_trial([])
+
+    def test_ignores_input_order(self):
+        errors = [9.0, 2.0, 5.0, 7.0, 1.0]
+        a = median_trial([trial(e) for e in errors])
+        b = median_trial([trial(e) for e in reversed(errors)])
+        assert a.reconstruction_error == b.reconstruction_error == 5.0
+
+
+class TestPaperRanges:
+    def test_beta_range_matches_section_414(self):
+        assert DEFAULT_BETA_RANGE == tuple(i / 10 for i in range(1, 10))
+
+    def test_lambda_range_matches_section_414(self):
+        assert DEFAULT_LAMBDA_RANGE == tuple(float(2 ** j) for j in range(7))
+
+    def test_window_range_matches_section_414(self):
+        assert DEFAULT_WINDOW_RANGE == tuple(2 ** k for k in range(2, 9))
+
+    def test_paper_table2_values_inside_ranges(self):
+        for params in PAPER_SELECTED_HYPERPARAMETERS.values():
+            assert params["beta"] in DEFAULT_BETA_RANGE
+            assert params["lambda"] in DEFAULT_LAMBDA_RANGE
+            assert params["window"] in DEFAULT_WINDOW_RANGE
+
+
+@pytest.fixture(scope="module")
+def selection_result():
+    rng = np.random.default_rng(9)
+    t = np.arange(320)
+    series = np.stack([np.sin(2 * np.pi * t / 20),
+                       np.cos(2 * np.pi * t / 32)], axis=1)
+    series += 0.05 * rng.standard_normal(series.shape)
+    base_cae = CAEConfig(input_dim=2, embed_dim=8, window=8, n_layers=1)
+    base_ensemble = EnsembleConfig(n_models=1, epochs_per_model=1,
+                                   max_training_windows=64)
+    return select_hyperparameters(
+        series, base_cae, base_ensemble, n_random_trials=3,
+        beta_range=(0.2, 0.5, 0.8), lambda_range=(1.0, 2.0, 4.0),
+        window_range=(4, 8, 16), seed=0)
+
+
+class TestSelectHyperparameters:
+    def test_selected_values_within_ranges(self, selection_result):
+        assert selection_result.beta in (0.2, 0.5, 0.8)
+        assert selection_result.lam in (1.0, 2.0, 4.0)
+        assert selection_result.window in (4, 8, 16)
+
+    def test_all_trials_recorded(self, selection_result):
+        assert len(selection_result.random_trials) == 3
+        assert len(selection_result.beta_sweep) == 3
+        assert len(selection_result.lambda_sweep) == 3
+        assert len(selection_result.window_sweep) == 3
+
+    def test_errors_are_positive(self, selection_result):
+        for t in selection_result.random_trials:
+            assert t.reconstruction_error > 0.0
+
+    def test_default_trial_is_median_of_random(self, selection_result):
+        expected = median_trial(selection_result.random_trials)
+        assert selection_result.default_trial == expected
+
+    def test_selected_beta_is_median_of_sweep(self, selection_result):
+        expected = median_trial(selection_result.beta_sweep).beta
+        assert selection_result.beta == expected
+
+    def test_selected_window_is_median_of_sweep(self, selection_result):
+        expected = median_trial(selection_result.window_sweep).window
+        assert selection_result.window == expected
+
+    def test_rejects_1d_series(self):
+        with pytest.raises(ValueError):
+            select_hyperparameters(np.zeros(50),
+                                   CAEConfig(input_dim=1, window=4))

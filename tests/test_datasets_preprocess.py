@@ -1,0 +1,82 @@
+"""Z-score scaler and chronological train/validation split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.preprocess import StandardScaler, train_validation_split
+
+
+class TestStandardScaler:
+    def test_transform_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(5.0, 3.0, size=(500, 4))
+        scaled = StandardScaler().fit_transform(series)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_train_statistics_applied_to_test(self):
+        train = np.array([[0.0], [2.0]])
+        scaler = StandardScaler().fit(train)     # mean 1, std 1
+        np.testing.assert_allclose(scaler.transform(np.array([[3.0]])),
+                                   [[2.0]])
+
+    def test_constant_dimension_not_divided(self):
+        series = np.hstack([np.ones((10, 1)),
+                            np.arange(10.0).reshape(-1, 1)])
+        scaled = StandardScaler().fit_transform(series)
+        np.testing.assert_allclose(scaled[:, 0], 0.0)   # centred, not scaled
+        assert np.all(np.isfinite(scaled))
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=(50, 3)) * 7 + 2
+        scaler = StandardScaler().fit(series)
+        recovered = scaler.inverse_transform(scaler.transform(series))
+        np.testing.assert_allclose(recovered, series, atol=1e-10)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((3, 1)))
+        with pytest.raises(RuntimeError):
+            StandardScaler().inverse_transform(np.zeros((3, 1)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+    @given(rows=st.integers(3, 50), cols=st.integers(1, 6),
+           shift=st.floats(-100, 100), scale=st.floats(0.1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_affine_invariance_property(self, rows, cols, shift, scale):
+        """Scaling an affinely transformed series gives the same z-scores."""
+        rng = np.random.default_rng(rows * cols)
+        base = rng.normal(size=(rows, cols))
+        a = StandardScaler().fit_transform(base)
+        b = StandardScaler().fit_transform(base * scale + shift)
+        np.testing.assert_allclose(a, b, atol=1e-7)
+
+
+class TestSplit:
+    def test_fraction(self):
+        series = np.arange(100.0).reshape(-1, 1)
+        train, validation = train_validation_split(series, 0.3)
+        assert train.shape[0] == 70
+        assert validation.shape[0] == 30
+
+    def test_chronological_order_preserved(self):
+        series = np.arange(10.0).reshape(-1, 1)
+        train, validation = train_validation_split(series, 0.3)
+        assert train[-1, 0] < validation[0, 0]
+
+    def test_never_empty(self):
+        series = np.zeros((2, 1))
+        train, validation = train_validation_split(series, 0.01)
+        assert train.shape[0] >= 1 and validation.shape[0] >= 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_validation_split(np.zeros((10, 1)), 0.0)
+        with pytest.raises(ValueError):
+            train_validation_split(np.zeros((10, 1)), 1.0)

@@ -1,0 +1,116 @@
+"""Failure injection: degenerate inputs must fail loudly, not silently.
+
+Silent NaN propagation is the classic failure mode of reconstruction-based
+detectors (every score becomes NaN and every threshold comparison False —
+no outliers ever flagged).  These tests pin the contract: invalid inputs
+raise immediately with actionable messages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (IsolationForest, MovingAverageSmoothing, RAE)
+from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig
+from repro.experiments.tables import sequential_depth_per_window
+from repro.experiments.reporting import paired_row
+
+
+@pytest.fixture
+def clean_series():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((200, 2))
+
+
+def quick_ensemble():
+    return CAEEnsemble(
+        CAEConfig(input_dim=2, embed_dim=8, window=8, n_layers=1),
+        EnsembleConfig(n_models=1, epochs_per_model=1,
+                       max_training_windows=64, seed=0))
+
+
+class TestNaNRejection:
+    def test_ensemble_fit_rejects_nan(self, clean_series):
+        series = clean_series.copy()
+        series[10, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            quick_ensemble().fit(series)
+
+    def test_ensemble_fit_rejects_inf(self, clean_series):
+        series = clean_series.copy()
+        series[10, 0] = np.inf
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            quick_ensemble().fit(series)
+
+    def test_ensemble_score_rejects_nan(self, clean_series):
+        ensemble = quick_ensemble().fit(clean_series)
+        dirty = clean_series.copy()
+        dirty[5, 1] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            ensemble.score(dirty)
+
+    def test_windowed_detector_rejects_nan(self, clean_series):
+        dirty = clean_series.copy()
+        dirty[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            RAE(window=8, epochs=1).fit(dirty)
+
+    def test_classic_detector_rejects_nan(self, clean_series):
+        dirty = clean_series.copy()
+        dirty[3, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            IsolationForest(n_estimators=5).fit(dirty)
+
+    def test_mas_rejects_nan_at_scoring(self, clean_series):
+        detector = MovingAverageSmoothing(window=8).fit(clean_series)
+        dirty = clean_series.copy()
+        dirty[7, 1] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            detector.score(dirty)
+
+
+class TestDegenerateSeries:
+    def test_constant_series_trains_without_nan(self):
+        """σ = 0 dimensions must not blow up the z-scaler or the model."""
+        series = np.ones((120, 2))
+        ensemble = quick_ensemble().fit(series)
+        scores = ensemble.score(series)
+        assert np.all(np.isfinite(scores))
+
+    def test_single_window_series(self):
+        """A series exactly one window long still scores every point."""
+        rng = np.random.default_rng(1)
+        series = rng.standard_normal((100, 2))
+        ensemble = quick_ensemble().fit(series)
+        window = ensemble.cae_config.window
+        scores = ensemble.score(series[:window])
+        assert scores.shape == (window,)
+
+    def test_series_shorter_than_window_raises(self, clean_series):
+        ensemble = quick_ensemble().fit(clean_series)
+        with pytest.raises(ValueError):
+            ensemble.score(clean_series[:4])    # window is 8
+
+    def test_huge_magnitude_series_finite(self):
+        """Re-scaling must absorb extreme raw magnitudes (1e9-scale)."""
+        rng = np.random.default_rng(2)
+        series = 1e9 * (1.0 + 0.001 * rng.standard_normal((150, 2)))
+        ensemble = quick_ensemble().fit(series)
+        assert np.all(np.isfinite(ensemble.score(series)))
+
+
+class TestHarnessHelpers:
+    def test_sequential_depth_rae_grows_with_window(self):
+        assert sequential_depth_per_window("RAE", 16, 2) == 32
+        assert sequential_depth_per_window("RAE-Ensemble", 64, 2) == 128
+
+    def test_sequential_depth_cae_independent_of_window(self):
+        assert sequential_depth_per_window("CAE", 16, 2) == \
+            sequential_depth_per_window("CAE", 256, 2) == 6
+        assert sequential_depth_per_window("CAE-Ensemble", 16, 3) == 8
+
+    def test_paired_row_formats(self):
+        cells = paired_row((0.5, 0.25), (0.1, 0.2))
+        assert cells == ["0.5000 (0.1000)", "0.2500 (0.2000)"]
+
+    def test_paired_row_without_reference(self):
+        assert paired_row((0.5,), None) == ["0.5000"]

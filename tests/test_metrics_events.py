@@ -1,0 +1,121 @@
+"""Event-level metrics: point-adjust and event reports (WADI semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (event_report, f1_score, label_segments,
+                           point_adjust, point_adjusted_prf, recall_score)
+
+
+class TestLabelSegments:
+    def test_no_segments(self):
+        assert label_segments(np.zeros(5, dtype=int)) == []
+
+    def test_single_segment(self):
+        labels = np.array([0, 1, 1, 1, 0])
+        assert label_segments(labels) == [(1, 4)]
+
+    def test_segment_at_edges(self):
+        labels = np.array([1, 1, 0, 0, 1])
+        assert label_segments(labels) == [(0, 2), (4, 5)]
+
+    def test_all_ones(self):
+        assert label_segments(np.ones(4, dtype=int)) == [(0, 4)]
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            label_segments(np.array([0, 2]))
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_segments_cover_exactly_the_ones(self, bits):
+        labels = np.array(bits)
+        covered = np.zeros(len(bits), dtype=int)
+        for start, stop in label_segments(labels):
+            assert stop > start
+            covered[start:stop] = 1
+        np.testing.assert_array_equal(covered, labels)
+
+
+class TestPointAdjust:
+    def test_hit_expands_to_whole_segment(self):
+        labels = np.array([0, 1, 1, 1, 0])
+        predictions = np.array([0, 0, 1, 0, 0])
+        adjusted = point_adjust(labels, predictions)
+        np.testing.assert_array_equal(adjusted, [0, 1, 1, 1, 0])
+
+    def test_missed_segment_unchanged(self):
+        labels = np.array([0, 1, 1, 0, 1, 1])
+        predictions = np.array([0, 0, 0, 0, 1, 0])
+        adjusted = point_adjust(labels, predictions)
+        np.testing.assert_array_equal(adjusted, [0, 0, 0, 0, 1, 1])
+
+    def test_false_positives_preserved(self):
+        labels = np.array([0, 0, 1, 1])
+        predictions = np.array([1, 0, 1, 0])
+        adjusted = point_adjust(labels, predictions)
+        np.testing.assert_array_equal(adjusted, [1, 0, 1, 1])
+
+    def test_adjusted_recall_never_lower(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            labels = (rng.random(50) < 0.3).astype(int)
+            predictions = (rng.random(50) < 0.2).astype(int)
+            raw = recall_score(labels, predictions)
+            adjusted = recall_score(labels,
+                                    point_adjust(labels, predictions))
+            assert adjusted >= raw - 1e-12
+
+    def test_point_adjusted_prf_on_wadi_style_labels(self):
+        """One flagged core observation recovers the whole interval —
+        the Section 4.2.1 discussion quantified."""
+        labels = np.zeros(100, dtype=int)
+        labels[40:60] = 1                      # long labelled interval
+        predictions = np.zeros(100, dtype=int)
+        predictions[50] = 1                    # only the true core flagged
+        raw_f1 = f1_score(labels, predictions)
+        _, adjusted_recall, adjusted_f1 = point_adjusted_prf(labels,
+                                                             predictions)
+        assert raw_f1 < 0.1
+        assert adjusted_recall == 1.0
+        assert adjusted_f1 > 0.9
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            point_adjust(np.zeros(3, dtype=int), np.zeros(4, dtype=int))
+
+
+class TestEventReport:
+    def test_counts(self):
+        labels = np.array([0, 1, 1, 0, 1, 0, 0])
+        predictions = np.array([0, 1, 0, 0, 0, 1, 0])
+        report = event_report(labels, predictions)
+        assert report.n_events == 2
+        assert report.n_detected == 1
+        assert report.event_recall == 0.5
+
+    def test_point_precision(self):
+        labels = np.array([0, 1, 1, 0])
+        predictions = np.array([1, 1, 0, 0])
+        report = event_report(labels, predictions)
+        assert report.point_precision == 0.5    # 1 of 2 flags correct
+
+    def test_no_events(self):
+        report = event_report(np.zeros(5, dtype=int),
+                              np.zeros(5, dtype=int))
+        assert report.n_events == 0
+        assert report.event_recall == 0.0
+        assert report.f1 == 0.0
+
+    def test_perfect_detection(self):
+        labels = np.array([0, 1, 1, 0, 1])
+        report = event_report(labels, labels)
+        assert report.event_recall == 1.0
+        assert report.point_precision == 1.0
+        assert report.f1 == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            event_report(np.zeros(3, dtype=int), np.zeros(4, dtype=int))

@@ -1,0 +1,113 @@
+"""Functional tests of the 1-D convolution: shapes, padding semantics and
+equivalence to a naive reference implementation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.conv import conv1d, resolve_padding
+
+
+def naive_conv1d(x, w, b, left, right):
+    """Reference triple-loop cross-correlation."""
+    n, c_in, length = x.shape
+    c_out, _, k = w.shape
+    x_pad = np.pad(x, ((0, 0), (0, 0), (left, right)))
+    l_out = length + left + right - k + 1
+    out = np.zeros((n, c_out, l_out))
+    for i in range(n):
+        for o in range(c_out):
+            for t in range(l_out):
+                out[i, o, t] = np.sum(x_pad[i, :, t:t + k] * w[o]) + \
+                    (b[o] if b is not None else 0.0)
+    return out
+
+
+class TestResolvePadding:
+    def test_same_odd_kernel(self):
+        assert resolve_padding(3, "same") == (1, 1)
+        assert resolve_padding(5, "same") == (2, 2)
+
+    def test_same_even_kernel(self):
+        assert resolve_padding(4, "same") == (1, 2)
+
+    def test_causal(self):
+        assert resolve_padding(3, "causal") == (2, 0)
+
+    def test_valid(self):
+        assert resolve_padding(3, "valid") == (0, 0)
+
+    def test_int_and_tuple(self):
+        assert resolve_padding(3, 2) == (2, 2)
+        assert resolve_padding(3, (1, 4)) == (1, 4)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            resolve_padding(3, "weird")
+
+
+class TestConvCorrectness:
+    @pytest.mark.parametrize("padding", ["same", "causal", "valid", (2, 1)])
+    def test_matches_naive(self, padding):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 3, 8))
+        w = rng.standard_normal((4, 3, 3))
+        b = rng.standard_normal(4)
+        left, right = resolve_padding(3, padding)
+        expected = naive_conv1d(x, w, b, left, right)
+        actual = conv1d(Tensor(x), Tensor(w), Tensor(b),
+                        padding=padding).data
+        np.testing.assert_allclose(actual, expected, atol=1e-10)
+
+    def test_same_preserves_length(self):
+        x = Tensor(np.zeros((1, 2, 10)))
+        w = Tensor(np.zeros((3, 2, 5)))
+        assert conv1d(x, w, padding="same").shape == (1, 3, 10)
+
+    def test_causal_preserves_length(self):
+        x = Tensor(np.zeros((1, 2, 10)))
+        w = Tensor(np.zeros((3, 2, 3)))
+        assert conv1d(x, w, padding="causal").shape == (1, 3, 10)
+
+    def test_valid_shrinks_length(self):
+        x = Tensor(np.zeros((1, 2, 10)))
+        w = Tensor(np.zeros((3, 2, 3)))
+        assert conv1d(x, w, padding="valid").shape == (1, 3, 8)
+
+    def test_causality_property(self):
+        """With causal padding, output[t] must not change when any input
+        strictly after t changes — the decoder's correctness requirement."""
+        rng = np.random.default_rng(5)
+        x1 = rng.standard_normal((1, 2, 12))
+        x2 = x1.copy()
+        x2[:, :, 7:] += rng.standard_normal((1, 2, 5))  # future perturbation
+        w = rng.standard_normal((3, 2, 3))
+        y1 = conv1d(Tensor(x1), Tensor(w), padding="causal").data
+        y2 = conv1d(Tensor(x2), Tensor(w), padding="causal").data
+        np.testing.assert_allclose(y1[:, :, :7], y2[:, :, :7], atol=1e-12)
+        assert not np.allclose(y1[:, :, 7:], y2[:, :, 7:])
+
+    def test_same_padding_is_not_causal(self):
+        rng = np.random.default_rng(6)
+        x1 = rng.standard_normal((1, 1, 8))
+        x2 = x1.copy()
+        x2[0, 0, 5] += 1.0
+        w = rng.standard_normal((1, 1, 3))
+        y1 = conv1d(Tensor(x1), Tensor(w), padding="same").data
+        y2 = conv1d(Tensor(x2), Tensor(w), padding="same").data
+        # Position 4 sees position 5 through the right half of the kernel.
+        assert not np.allclose(y1[0, 0, 4], y2[0, 0, 4])
+
+
+class TestConvValidation:
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError, match="N, C_in, L"):
+            conv1d(Tensor(np.zeros((3, 4))), Tensor(np.zeros((2, 3, 3))))
+
+    def test_rejects_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channels"):
+            conv1d(Tensor(np.zeros((1, 3, 5))), Tensor(np.zeros((2, 4, 3))))
+
+    def test_rejects_bad_weight_rank(self):
+        with pytest.raises(ValueError, match="C_out"):
+            conv1d(Tensor(np.zeros((1, 3, 5))), Tensor(np.zeros((2, 3))))

@@ -1,0 +1,169 @@
+"""Tests for the recurrent cells, optimisers and serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, GRUCell, LSTM, LSTMCell, Linear, SGD, Tensor,
+                      load_into, load_state_dict, save_state_dict)
+from repro.nn.functional import mse_loss
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestLSTMCell:
+    def test_state_shapes(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, c = cell.initial_state(3)
+        h2, c2 = cell(Tensor(np.zeros((3, 4))), (h, c))
+        assert h2.shape == (3, 6) and c2.shape == (3, 6)
+
+    def test_forget_bias_initialised_positive(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        np.testing.assert_allclose(cell.bias.data[6:12], 1.0)
+
+    def test_state_changes_with_input(self, rng):
+        cell = LSTMCell(2, 3, rng)
+        state = cell.initial_state(1)
+        h1, _ = cell(Tensor([[1.0, 0.0]]), state)
+        h2, _ = cell(Tensor([[0.0, 1.0]]), state)
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_gradient_through_time(self, rng):
+        cell = LSTMCell(2, 3, rng)
+        h, c = cell.initial_state(2)
+        x = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        for _ in range(5):
+            h, c = cell(x, (h, c))
+        (h * h).sum().backward()
+        assert x.grad is not None and np.any(x.grad != 0)
+
+
+class TestGRUCell:
+    def test_shapes(self, rng):
+        cell = GRUCell(4, 6, rng)
+        h = cell(Tensor(np.zeros((3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 6)
+
+    def test_zero_input_keeps_bounded_state(self, rng):
+        cell = GRUCell(2, 3, rng)
+        h = cell.initial_state(1)
+        for _ in range(50):
+            h = cell(Tensor(np.zeros((1, 2))), h)
+        assert np.all(np.abs(h.data) <= 1.0)
+
+
+class TestLSTMModule:
+    def test_output_shapes(self, rng):
+        lstm = LSTM(3, 5, rng)
+        out, (h, c) = lstm(Tensor(np.zeros((2, 7, 3))))
+        assert out.shape == (2, 7, 5)
+        assert h.shape == (2, 5) and c.shape == (2, 5)
+
+    def test_final_state_matches_last_output(self, rng):
+        lstm = LSTM(3, 5, rng)
+        out, (h, _) = lstm(Tensor(rng.standard_normal((2, 7, 3))))
+        np.testing.assert_allclose(out.data[:, -1, :], h.data)
+
+
+class TestSGD:
+    def test_plain_step(self, rng):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        p.grad = np.array([0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_momentum_accumulates(self, rng):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()
+        first = p.data.copy()
+        p.grad = np.array([1.0])
+        opt.step()
+        assert (first - p.data) > 1.0   # second step larger: velocity built
+
+    def test_quadratic_convergence(self, rng):
+        p = Tensor(np.array([5.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = (p * p).sum()
+            loss.backward()
+            opt.step()
+        assert abs(p.item()) < 1e-4
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction, |first step| == lr regardless of grad scale.
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([1e-4])
+        opt.step()
+        np.testing.assert_allclose(abs(p.data), 0.01, rtol=1e-4)
+
+    def test_skips_params_without_grad(self):
+        p1 = Tensor(np.array([1.0]), requires_grad=True)
+        p2 = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([p1, p2], lr=0.1)
+        p1.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(p2.data, [1.0])
+
+    def test_grad_clip_limits_norm(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        opt = Adam([p], lr=1.0, grad_clip=1.0)
+        p.grad = np.full(4, 100.0)
+        opt.step()   # would explode without the clip; just assert finite
+        assert np.all(np.isfinite(p.data))
+
+    def test_rosenbrock_ish_convergence(self, rng):
+        w = Tensor(rng.standard_normal(3), requires_grad=True)
+        target = np.array([1.0, -2.0, 0.5])
+        opt = Adam([w], lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            loss = ((w - Tensor(target)) ** 2).sum()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor([1.0], requires_grad=True)], betas=(1.0, 0.9))
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path, rng):
+        model = Linear(3, 2, rng)
+        path = str(tmp_path / "checkpoint.npz")
+        save_state_dict(path, model)
+        fresh = Linear(3, 2, np.random.default_rng(1234))
+        load_into(path, fresh)
+        np.testing.assert_array_equal(model.weight.data, fresh.weight.data)
+        np.testing.assert_array_equal(model.bias.data, fresh.bias.data)
+
+    def test_load_state_dict_keys(self, tmp_path, rng):
+        model = Linear(3, 2, rng)
+        path = str(tmp_path / "checkpoint")
+        save_state_dict(path + ".npz", model)
+        state = load_state_dict(path)      # extension added automatically
+        assert set(state) == {"weight", "bias"}
+
+    def test_creates_directories(self, tmp_path, rng):
+        path = str(tmp_path / "deep" / "nested" / "model.npz")
+        save_state_dict(path, Linear(2, 2, rng))
+        assert os.path.exists(path)

@@ -1,0 +1,106 @@
+"""Learning-rate schedulers and the RMSProp optimiser."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, CosineAnnealingLR, ExponentialLR, RMSProp, SGD,
+                      StepLR, Tensor)
+
+
+def make_optimizer(lr=1.0):
+    return SGD([Tensor(np.zeros(1), requires_grad=True)], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        scheduler = StepLR(make_optimizer(), step_size=2, gamma=0.5)
+        rates = [scheduler.step() for _ in range(6)]
+        assert rates == [1.0, 1.0, 0.5, 0.5, 0.25, 0.25]
+
+    def test_mutates_optimizer(self):
+        optimizer = make_optimizer()
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.1)
+        scheduler.step()
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+
+
+class TestExponentialLR:
+    def test_geometric_decay(self):
+        scheduler = ExponentialLR(make_optimizer(), gamma=0.5)
+        rates = [scheduler.step() for _ in range(4)]
+        assert rates == [1.0, 0.5, 0.25, 0.125]
+
+
+class TestCosineAnnealing:
+    def test_endpoints(self):
+        scheduler = CosineAnnealingLR(make_optimizer(), t_max=10,
+                                      eta_min=0.1)
+        first = scheduler.step()
+        for _ in range(10):
+            last = scheduler.step()
+        assert first == pytest.approx(1.0)
+        assert last == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        scheduler = CosineAnnealingLR(make_optimizer(), t_max=10)
+        rates = [scheduler.step() for _ in range(6)]
+        assert rates[5] == pytest.approx(0.5)
+
+    def test_restart_cycles(self):
+        scheduler = CosineAnnealingLR(make_optimizer(), t_max=4,
+                                      restart=True)
+        rates = [scheduler.step() for _ in range(9)]
+        assert rates[0] == pytest.approx(rates[4]) == pytest.approx(rates[8])
+
+    def test_no_restart_clamps(self):
+        scheduler = CosineAnnealingLR(make_optimizer(), t_max=3,
+                                      eta_min=0.0)
+        for _ in range(10):
+            last = scheduler.step()
+        assert last == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_optimizer(), t_max=0)
+
+
+class TestRMSProp:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.array([4.0]), requires_grad=True)
+        optimizer = RMSProp([p], lr=0.05)
+        for _ in range(500):
+            optimizer.zero_grad()
+            ((p - 1.0) ** 2).sum().backward()
+            optimizer.step()
+        assert abs(p.item() - 1.0) < 1e-2
+
+    def test_skips_gradless_params(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        RMSProp([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            RMSProp([Tensor([1.0], requires_grad=True)], alpha=1.0)
+
+
+class TestSchedulerWithTraining:
+    def test_cosine_with_adam_still_converges(self):
+        rng = np.random.default_rng(0)
+        w = Tensor(rng.standard_normal(3), requires_grad=True)
+        target = np.array([1.0, -1.0, 0.5])
+        optimizer = Adam([w], lr=0.1)
+        scheduler = CosineAnnealingLR(optimizer, t_max=200, eta_min=1e-4)
+        for _ in range(200):
+            scheduler.step()
+            optimizer.zero_grad()
+            ((w - Tensor(target)) ** 2).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(w.data, target, atol=1e-2)
