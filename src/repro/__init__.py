@@ -9,8 +9,15 @@ Package layout
 ``repro.core``        the paper's contribution: CAE, CAE-Ensemble,
                       diversity-driven training, unsupervised tuning
 ``repro.baselines``   the twelve-detector comparison line-up
-``repro.metrics``     PR/ROC AUC, best-F1 and top-K thresholds
+``repro.metrics``     PR/ROC AUC, best-F1 and top-K thresholds, plus
+                      event-level and streaming (detection-latency)
+                      evaluation
 ``repro.experiments`` harness regenerating Tables 3-8 and Figures 13-17
+``repro.streaming``   the online serving layer: ring-buffered windowing,
+                      a micro-batching :class:`StreamingDetector`, online
+                      threshold calibration, concept-drift detection and
+                      drift-triggered warm-started ensemble refresh, and
+                      a :class:`StreamFleet` for many concurrent streams
 
 Quickstart
 ----------
@@ -24,7 +31,8 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import baselines, core, datasets, experiments, metrics, nn
+from . import (baselines, core, datasets, experiments, metrics, nn,
+               streaming)
 
 __all__ = ["baselines", "core", "datasets", "experiments", "metrics", "nn",
-           "__version__"]
+           "streaming", "__version__"]

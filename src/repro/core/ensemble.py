@@ -65,13 +65,27 @@ class CAEEnsemble:
     # ------------------------------------------------------------------
     # Training (Algorithm 1)
     # ------------------------------------------------------------------
-    def fit(self, series: np.ndarray, verbose: bool = False) -> "CAEEnsemble":
-        """Train all basic models on an unlabelled series ``(L, D)``."""
+    def fit(self, series: np.ndarray, verbose: bool = False,
+            warm_start: Optional[Sequence[CAE]] = None,
+            warm_start_fraction: Optional[float] = None) -> "CAEEnsemble":
+        """Train all basic models on an unlabelled series ``(L, D)``.
+
+        ``warm_start`` optionally provides an already-trained generation of
+        basic models (same architecture config): basic model ``i`` then
+        inherits a random ``warm_start_fraction`` (default: the config's
+        transfer β) of old model ``i``'s parameters before training — the
+        drift-triggered refresh path of :mod:`repro.streaming.refresh`.
+        Models without a warm-start counterpart fall back to the usual
+        chain transfer from their predecessor.
+        """
         start_time = time.perf_counter()
         windows = self._prepare_training_windows(series)
         self.models = []
         self.history = []
         self.transfer_reports = []
+        warm_models = list(warm_start) if warm_start is not None else []
+        warm_fraction = self.config.transfer_fraction \
+            if warm_start_fraction is None else warm_start_fraction
 
         # Running sum of frozen model outputs; F = sum / m (Eq. 8).
         ensemble_sum: Optional[np.ndarray] = None
@@ -79,7 +93,11 @@ class CAEEnsemble:
         for model_index in range(self.config.n_models):
             model = CAE(self.cae_config,
                         np.random.default_rng(self._rng.integers(2 ** 32)))
-            if model_index > 0 and self.config.transfer_fraction > 0.0:
+            if model_index < len(warm_models) and warm_fraction > 0.0:
+                report = transfer_parameters(warm_models[model_index], model,
+                                             warm_fraction, self._rng)
+                self.transfer_reports.append(report)
+            elif model_index > 0 and self.config.transfer_fraction > 0.0:
                 report = transfer_parameters(self.models[-1], model,
                                              self.config.transfer_fraction,
                                              self._rng)
@@ -245,20 +263,38 @@ class CAEEnsemble:
         a window of it plus its ``w−1`` predecessors is scored in one
         forward pass per basic model.
         """
-        self._require_fitted()
         window = np.asarray(window, dtype=np.float64)
         if window.shape != (self.cae_config.window, self.cae_config.input_dim):
             raise ValueError(f"expected ({self.cae_config.window}, "
                              f"{self.cae_config.input_dim}) window, "
                              f"got {window.shape}")
+        return float(self.score_windows_last(window[None])[0])
+
+    def score_windows_last(self, windows: np.ndarray) -> np.ndarray:
+        """Micro-batched online scoring: each window's *last* observation.
+
+        ``windows`` is ``(B, w, D)`` in raw observation space — typically
+        the windows ending at each of B freshly-arrived observations.  One
+        forward pass per basic model covers the whole micro-batch, which
+        amortises the per-call overhead of :meth:`score_window` across B
+        arrivals (the ``repro.streaming`` hot path).  Returns ``(B,)``
+        aggregated scores.
+        """
+        self._require_fitted()
+        windows = np.asarray(windows, dtype=np.float64)
+        expected = (self.cae_config.window, self.cae_config.input_dim)
+        if windows.ndim != 3 or windows.shape[1:] != expected:
+            raise ValueError(f"expected (B, {expected[0]}, {expected[1]}) "
+                             f"windows, got {windows.shape}")
         if self.scaler is not None:
-            window = self.scaler.transform(window)
-        batch = window[None]
-        last_errors = [model.window_scores(batch)[0, -1]
-                       for model in self.models]
+            flat = self.scaler.transform(
+                windows.reshape(-1, self.cae_config.input_dim))
+            windows = flat.reshape(windows.shape)
+        per_model = np.stack([model.window_scores(windows)[:, -1]
+                              for model in self.models])      # (M, B)
         if self.config.aggregation == "median":
-            return float(np.median(last_errors))
-        return float(np.mean(last_errors))
+            return np.median(per_model, axis=0)
+        return per_model.mean(axis=0)
 
     def detect(self, series: np.ndarray,
                threshold: Optional[float] = None,

@@ -7,7 +7,14 @@ fitted :class:`CAEEnsemble` to a directory:
 * ``manifest.json`` — both config dataclasses plus scaler statistics;
 * ``model_<i>.npz`` — each basic model's state dict.
 
-Round-trips are exact: a reloaded ensemble produces bit-identical scores.
+A live :class:`repro.streaming.StreamingDetector` can likewise be
+checkpointed (:func:`save_streaming_detector`): the ensemble directory
+plus a ``streaming.json`` holding the runtime state (window/history
+buffers, calibrator, drift detector, counters), so an online detector
+survives process restarts mid-stream.
+
+Round-trips are exact: a reloaded ensemble produces bit-identical scores,
+and a reloaded detector continues with an identical threshold.
 """
 
 from __future__ import annotations
@@ -27,6 +34,10 @@ from .ensemble import CAEEnsemble
 
 MANIFEST_NAME = "manifest.json"
 FORMAT_VERSION = 1
+
+STREAMING_STATE_NAME = "streaming.json"
+STREAMING_ENSEMBLE_DIR = "ensemble"
+STREAMING_FORMAT_VERSION = 1
 
 
 def save_ensemble(ensemble: CAEEnsemble, directory: str) -> None:
@@ -88,3 +99,41 @@ def load_ensemble(directory: str) -> CAEEnsemble:
         model.load_state_dict(state)
         ensemble.models.append(model)
     return ensemble
+
+
+def save_streaming_detector(detector, directory: str) -> None:
+    """Checkpoint a live streaming detector (ensemble + runtime state).
+
+    ``detector`` is a :class:`repro.streaming.StreamingDetector`; imported
+    lazily because ``repro.streaming`` builds on ``repro.core``.
+    """
+    os.makedirs(directory, exist_ok=True)
+    save_ensemble(detector.ensemble,
+                  os.path.join(directory, STREAMING_ENSEMBLE_DIR))
+    payload = {
+        "format_version": STREAMING_FORMAT_VERSION,
+        "state": detector.state_dict(),
+    }
+    with open(os.path.join(directory, STREAMING_STATE_NAME), "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_streaming_detector(directory: str, refresher=None):
+    """Resume a streaming detector saved by :func:`save_streaming_detector`.
+
+    The refresher (a policy object, not stream state) is supplied fresh by
+    the caller rather than persisted.
+    """
+    from ..streaming.engine import StreamingDetector
+    state_path = os.path.join(directory, STREAMING_STATE_NAME)
+    if not os.path.exists(state_path):
+        raise FileNotFoundError(f"no streaming state at {state_path}")
+    with open(state_path) as handle:
+        payload = json.load(handle)
+    if payload.get("format_version") != STREAMING_FORMAT_VERSION:
+        raise ValueError(f"unsupported streaming format "
+                         f"{payload.get('format_version')!r}")
+    ensemble = load_ensemble(os.path.join(directory,
+                                          STREAMING_ENSEMBLE_DIR))
+    return StreamingDetector.from_state(ensemble, payload["state"],
+                                        refresher=refresher)

@@ -14,6 +14,12 @@ this, and both are provided so the reproduction can quantify the effect:
   event, detected if at least one of its observations is flagged;
   precision stays point-wise over normal regions (false alarms are
   per-observation costs for an operator).
+
+For *streaming* runs (``repro.streaming``) a third view matters: how
+*quickly* each injected anomaly segment was caught after it started, and
+how often the drift layer fired.  :func:`stream_event_report` computes
+per-segment detection latency from the engine's alert indices and carries
+the drift/refresh counters alongside.
 """
 
 from __future__ import annotations
@@ -90,3 +96,70 @@ def event_report(labels: np.ndarray, predictions: np.ndarray) -> EventReport:
     return EventReport(n_events=len(segments), n_detected=detected,
                        event_recall=recall, point_precision=precision,
                        f1=f1)
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamReport:
+    """Detection-latency summary of one streaming run.
+
+    ``latencies`` holds, for each *detected* segment, the distance (in
+    observations) from segment start to the first alert inside it — the
+    operator's time-to-page.  Alerts on unlabelled observations count as
+    false alarms.  Drift events and refreshes are carried as counters so
+    a run's model-maintenance activity is reported next to its accuracy.
+    """
+    n_observations: int
+    n_events: int
+    n_detected: int
+    n_alerts: int
+    n_false_alarms: int
+    n_drift_events: int
+    n_refreshes: int
+    latencies: Tuple[int, ...]
+
+    @property
+    def event_recall(self) -> float:
+        return self.n_detected / self.n_events if self.n_events else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean observations-to-detection over detected segments (NaN if
+        nothing was detected)."""
+        return float(np.mean(self.latencies)) if self.latencies \
+            else float("nan")
+
+
+def stream_event_report(labels: np.ndarray, alert_indices,
+                        drift_indices=(), n_refreshes: int = 0
+                        ) -> StreamReport:
+    """Latency-aware event evaluation of a streaming run.
+
+    Parameters
+    ----------
+    labels:        per-observation ground truth over the streamed span.
+    alert_indices: stream positions the detector alerted on (e.g.
+                   ``StreamingDetector.alerts``).
+    drift_indices: stream positions of emitted drift events.
+    n_refreshes:   completed model refreshes during the run.
+    """
+    labels = np.asarray(labels).astype(np.int64).reshape(-1)
+    alerts = np.asarray(sorted(int(i) for i in alert_indices),
+                        dtype=np.int64)
+    if alerts.size and (alerts[0] < 0 or alerts[-1] >= labels.size):
+        raise ValueError(f"alert indices must lie in [0, {labels.size}), "
+                         f"got range [{alerts[0]}, {alerts[-1]}]")
+    segments = label_segments(labels)
+    latencies = []
+    for start, stop in segments:
+        inside = alerts[(alerts >= start) & (alerts < stop)]
+        if inside.size:
+            latencies.append(int(inside[0] - start))
+    false_alarms = int((labels[alerts] == 0).sum()) if alerts.size else 0
+    return StreamReport(n_observations=int(labels.size),
+                        n_events=len(segments),
+                        n_detected=len(latencies),
+                        n_alerts=int(alerts.size),
+                        n_false_alarms=false_alarms,
+                        n_drift_events=len(tuple(drift_indices)),
+                        n_refreshes=int(n_refreshes),
+                        latencies=tuple(latencies))

@@ -1,0 +1,50 @@
+"""``repro.streaming`` — the online detection engine (the Table 8 workload
+as a reusable subsystem).
+
+Layers, bottom-up:
+
+``buffer``       zero-copy ring buffers (current window + recent history);
+``calibration``  online, label-free alert thresholds (burn-in median+MAD,
+                 exponentially-decayed quantile);
+``drift``        concept-drift detectors over the reconstruction-error
+                 stream (DDM-style chart, Page-Hinkley) emitting
+                 :class:`DriftEvent`;
+``refresh``      drift-triggered ensemble retraining on recent history,
+                 warm-started via the paper's β parameter transfer;
+``engine``       :class:`StreamingDetector` — scalar ``update`` and
+                 micro-batched ``update_batch`` scoring, wired to the
+                 layers above;
+``multi``        :class:`StreamFleet` — many named streams sharing fitted
+                 detectors.
+
+Quickstart::
+
+    from repro.streaming import (BurnInMAD, DDMDrift, EnsembleRefresher,
+                                 StreamingDetector)
+    detector = StreamingDetector(fitted_ensemble,
+                                 calibrator=BurnInMAD(200, 8.0),
+                                 drift_detector=DDMDrift(),
+                                 refresher=EnsembleRefresher())
+    detector.warm_up(train_tail)
+    for batch in micro_batches:
+        for update in detector.update_batch(batch):
+            if update.alert:
+                page_someone(update)
+"""
+
+from .buffer import HistoryBuffer, SlidingWindow
+from .calibration import (BurnInMAD, DecayedQuantile, calibrator_from_state,
+                          robust_mad_threshold)
+from .drift import (DDMDrift, DriftEvent, PageHinkley,
+                    drift_detector_from_state)
+from .engine import StreamingDetector, StreamUpdate
+from .multi import StreamFleet, StreamStats, shared_fleet
+from .refresh import EnsembleRefresher, RefreshReport
+
+__all__ = [
+    "BurnInMAD", "DDMDrift", "DecayedQuantile", "DriftEvent",
+    "EnsembleRefresher", "HistoryBuffer", "PageHinkley", "RefreshReport",
+    "SlidingWindow", "StreamFleet", "StreamStats", "StreamUpdate",
+    "StreamingDetector", "calibrator_from_state",
+    "drift_detector_from_state", "robust_mad_threshold", "shared_fleet",
+]

@@ -1,0 +1,205 @@
+"""Preallocated ring buffers for the online detection engine.
+
+Two buffers back the streaming hot path:
+
+* :class:`SlidingWindow` keeps exactly the last ``window`` observations and
+  yields the current window as a **zero-copy view**.  It uses the doubled
+  ring-buffer trick: every arrival is written to two mirrored slots, so
+  the most recent ``window`` rows are always contiguous in memory and no
+  per-arrival reshuffling or copying is needed.
+* :class:`HistoryBuffer` keeps the last ``capacity`` observations (a much
+  longer horizon) so a drift-triggered refresh can retrain the ensemble on
+  recent traffic (:mod:`repro.streaming.refresh`).
+
+Both expose ``state_dict`` / ``load_state_dict`` so a live detector can be
+checkpointed and resumed (:mod:`repro.core.persistence`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def _validate_rows(rows: np.ndarray, dims: int) -> np.ndarray:
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim == 1:
+        rows = rows[None]
+    if rows.ndim != 2 or rows.shape[1] != dims:
+        raise ValueError(f"expected (B, {dims}) observations, "
+                         f"got shape {rows.shape}")
+    if not np.all(np.isfinite(rows)):
+        raise ValueError("observations contain NaN or infinite values")
+    return rows
+
+
+class SlidingWindow:
+    """The last ``window`` observations of a stream, viewable without copies.
+
+    The backing array holds two mirrored copies of the ring, so the window
+    ending at the newest arrival is always one contiguous slice —
+    :meth:`view` is O(1) and allocation-free regardless of stream length.
+    """
+
+    def __init__(self, window: int, dims: int):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        self.window = window
+        self.dims = dims
+        self._buffer = np.zeros((2 * window, dims), dtype=np.float64)
+        self._count = 0
+
+    def __len__(self) -> int:
+        """Observations currently held (saturates at ``window``)."""
+        return min(self._count, self.window)
+
+    @property
+    def total_pushed(self) -> int:
+        return self._count
+
+    @property
+    def ready(self) -> bool:
+        """True once a full window of observations has arrived."""
+        return self._count >= self.window
+
+    def push(self, observation: np.ndarray) -> None:
+        """Append one observation ``(dims,)``."""
+        row = _validate_rows(observation, self.dims)
+        if row.shape[0] != 1:
+            raise ValueError("push takes a single observation; "
+                             "use push_many for batches")
+        slot = self._count % self.window
+        self._buffer[slot] = row[0]
+        self._buffer[slot + self.window] = row[0]
+        self._count += 1
+
+    def push_many(self, observations: np.ndarray) -> None:
+        """Append a batch ``(B, dims)`` in one vectorised write."""
+        rows = _validate_rows(observations, self.dims)
+        n = rows.shape[0]
+        if n == 0:
+            return
+        if n > self.window:
+            # Older rows of the batch would be overwritten immediately.
+            self._count += n - self.window
+            rows = rows[-self.window:]
+            n = self.window
+        slots = (self._count + np.arange(n)) % self.window
+        self._buffer[slots] = rows
+        self._buffer[slots + self.window] = rows
+        self._count += n
+
+    def view(self) -> np.ndarray:
+        """Read-only ``(window, dims)`` view of the current window."""
+        if not self.ready:
+            raise RuntimeError(f"window not full: {len(self)}/{self.window} "
+                               f"observations buffered")
+        return self.tail(self.window)
+
+    def tail(self, k: int) -> np.ndarray:
+        """Read-only view of the most recent ``k`` observations."""
+        if not 0 <= k <= len(self):
+            raise ValueError(f"cannot take tail of {k} from {len(self)} "
+                             f"buffered observations")
+        if k == 0:
+            return self._buffer[:0]
+        end = (self._count - 1) % self.window + self.window
+        view = self._buffer[end - k + 1:end + 1].view()
+        view.flags.writeable = False
+        return view
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "window": self.window,
+            "dims": self.dims,
+            "count": self._count,
+            "rows": self.tail(len(self)).tolist(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        if int(state["window"]) != self.window or \
+                int(state["dims"]) != self.dims:
+            raise ValueError("sliding-window geometry mismatch: saved "
+                             f"({state['window']}, {state['dims']}), "
+                             f"buffer ({self.window}, {self.dims})")
+        self._buffer[:] = 0.0
+        rows = np.asarray(state["rows"], dtype=np.float64)
+        rows = rows.reshape(-1, self.dims) if rows.size \
+            else rows.reshape(0, self.dims)
+        # Start counting where the saved stream's retained rows began, so
+        # ring slots line up with the saved count.
+        self._count = int(state["count"]) - rows.shape[0]
+        if rows.shape[0]:
+            self.push_many(rows)
+
+
+class HistoryBuffer:
+    """Ring of the most recent ``capacity`` observations, chronologically
+    recoverable via :meth:`to_array` — the retraining corpus for
+    drift-triggered ensemble refresh."""
+
+    def __init__(self, capacity: int, dims: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        self.capacity = capacity
+        self.dims = dims
+        self._buffer = np.zeros((capacity, dims), dtype=np.float64)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return min(self._count, self.capacity)
+
+    @property
+    def total_pushed(self) -> int:
+        return self._count
+
+    def push(self, observation: np.ndarray) -> None:
+        self.push_many(_validate_rows(observation, self.dims))
+
+    def push_many(self, observations: np.ndarray) -> None:
+        rows = _validate_rows(observations, self.dims)
+        n = rows.shape[0]
+        if n == 0:
+            return
+        if n > self.capacity:
+            self._count += n - self.capacity
+            rows = rows[-self.capacity:]
+            n = self.capacity
+        slots = (self._count + np.arange(n)) % self.capacity
+        self._buffer[slots] = rows
+        self._count += n
+
+    def to_array(self) -> np.ndarray:
+        """Chronological copy ``(len, dims)`` of the buffered history."""
+        held = len(self)
+        if held < self.capacity:
+            return self._buffer[:held].copy()
+        pivot = self._count % self.capacity
+        return np.concatenate([self._buffer[pivot:], self._buffer[:pivot]])
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "dims": self.dims,
+            "count": self._count,
+            "rows": self.to_array().tolist(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        if int(state["capacity"]) != self.capacity or \
+                int(state["dims"]) != self.dims:
+            raise ValueError("history-buffer geometry mismatch: saved "
+                             f"({state['capacity']}, {state['dims']}), "
+                             f"buffer ({self.capacity}, {self.dims})")
+        self._buffer[:] = 0.0
+        rows = np.asarray(state["rows"], dtype=np.float64)
+        rows = rows.reshape(-1, self.dims) if rows.size \
+            else rows.reshape(0, self.dims)
+        self._count = int(state["count"]) - rows.shape[0]
+        if rows.shape[0]:
+            self.push_many(rows)

@@ -1,0 +1,193 @@
+"""Online alert-threshold calibration over the live score stream.
+
+Thresholds derived from *training* scores inherit the train→test
+distribution shift; calibrating on live traffic absorbs it.  Two
+label-free calibrators are provided:
+
+* :class:`BurnInMAD` — watch quietly for ``burn_in`` arrivals, then freeze
+  the threshold at ``median + k·MAD`` of the burn-in scores.  Median/MAD
+  are robust to outliers that slip into the burn-in window.  This is the
+  calibration the `examples/streaming_detection.py` demo originally
+  inlined, lifted into tested library code.
+* :class:`DecayedQuantile` — a stochastic-approximation quantile tracker
+  with exponentially decayed step size, so the threshold keeps adapting to
+  slow drift instead of freezing after burn-in.
+
+Both expose the same small protocol used by
+:class:`repro.streaming.engine.StreamingDetector`:
+
+``observe(score)``   fold one score into the calibration state;
+``threshold``        current alert threshold (None until calibrated);
+``reset()``          restart calibration (after a model refresh the score
+                     scale changes, so the old threshold is stale);
+``state_dict`` / ``from_state`` for checkpointing live detectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+
+def robust_mad_threshold(scores: np.ndarray, k: float) -> float:
+    """``median + k·MAD`` of a score sample — the robust alert level."""
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if scores.size == 0:
+        raise ValueError("cannot calibrate a threshold on zero scores")
+    median = float(np.median(scores))
+    mad = float(np.median(np.abs(scores - median)))
+    return median + k * mad
+
+
+class BurnInMAD:
+    """Freeze ``median + k·MAD`` after a quiet burn-in period."""
+
+    kind = "burn_in_mad"
+
+    def __init__(self, burn_in: int = 200, k: float = 8.0):
+        if burn_in < 1:
+            raise ValueError(f"burn_in must be >= 1, got {burn_in}")
+        if k <= 0.0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.burn_in = burn_in
+        self.k = k
+        self._scores: List[float] = []
+        self._threshold: Optional[float] = None
+
+    @property
+    def threshold(self) -> Optional[float]:
+        return self._threshold
+
+    @property
+    def ready(self) -> bool:
+        return self._threshold is not None
+
+    def observe(self, score: float) -> None:
+        if self._threshold is not None:
+            return
+        self._scores.append(float(score))
+        if len(self._scores) >= self.burn_in:
+            self._threshold = robust_mad_threshold(self._scores, self.k)
+            self._scores = []
+
+    def reset(self) -> None:
+        self._scores = []
+        self._threshold = None
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "burn_in": self.burn_in,
+            "k": self.k,
+            "scores": list(self._scores),
+            "threshold": self._threshold,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "BurnInMAD":
+        calibrator = cls(burn_in=int(state["burn_in"]),
+                         k=float(state["k"]))
+        calibrator._scores = [float(s) for s in state["scores"]]
+        threshold = state["threshold"]
+        calibrator._threshold = None if threshold is None \
+            else float(threshold)
+        return calibrator
+
+
+class DecayedQuantile:
+    """Exponentially-decayed online quantile of the score stream.
+
+    After a ``warmup`` sample seeds the estimate with the empirical
+    quantile, each score nudges the estimate along the pinball-loss
+    gradient: up by ``step·q`` when the score exceeds it, down by
+    ``step·(1−q)`` otherwise.  The step is proportional to an
+    exponentially-decayed mean absolute deviation, so the tracker scales
+    itself to the score magnitude and keeps adapting under slow drift.
+    """
+
+    kind = "decayed_quantile"
+
+    def __init__(self, quantile: float = 0.99, decay: float = 0.98,
+                 warmup: int = 50):
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        if warmup < 2:
+            raise ValueError(f"warmup must be >= 2, got {warmup}")
+        self.quantile = quantile
+        self.decay = decay
+        self.warmup = warmup
+        self._samples: List[float] = []
+        self._estimate: Optional[float] = None
+        self._scale = 0.0
+
+    @property
+    def threshold(self) -> Optional[float]:
+        return self._estimate
+
+    @property
+    def ready(self) -> bool:
+        return self._estimate is not None
+
+    def observe(self, score: float) -> None:
+        score = float(score)
+        if self._estimate is None:
+            self._samples.append(score)
+            if len(self._samples) >= self.warmup:
+                sample = np.asarray(self._samples)
+                self._estimate = float(np.quantile(sample, self.quantile))
+                deviations = np.abs(sample - np.median(sample))
+                self._scale = max(float(deviations.mean()), 1e-12)
+                self._samples = []
+            return
+        self._scale = self.decay * self._scale + \
+            (1.0 - self.decay) * abs(score - self._estimate)
+        step = (1.0 - self.decay) * max(self._scale, 1e-12)
+        if score > self._estimate:
+            self._estimate += step * self.quantile
+        else:
+            self._estimate -= step * (1.0 - self.quantile)
+
+    def reset(self) -> None:
+        self._samples = []
+        self._estimate = None
+        self._scale = 0.0
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "quantile": self.quantile,
+            "decay": self.decay,
+            "warmup": self.warmup,
+            "samples": list(self._samples),
+            "estimate": self._estimate,
+            "scale": self._scale,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "DecayedQuantile":
+        calibrator = cls(quantile=float(state["quantile"]),
+                         decay=float(state["decay"]),
+                         warmup=int(state["warmup"]))
+        calibrator._samples = [float(s) for s in state["samples"]]
+        estimate = state["estimate"]
+        calibrator._estimate = None if estimate is None else float(estimate)
+        calibrator._scale = float(state["scale"])
+        return calibrator
+
+
+_CALIBRATORS: Dict[str, Type] = {
+    BurnInMAD.kind: BurnInMAD,
+    DecayedQuantile.kind: DecayedQuantile,
+}
+
+
+def calibrator_from_state(state: Dict[str, object]):
+    """Rebuild a calibrator from its ``state_dict`` (persistence path)."""
+    kind = state.get("kind")
+    if kind not in _CALIBRATORS:
+        raise ValueError(f"unknown calibrator kind {kind!r}; "
+                         f"known: {sorted(_CALIBRATORS)}")
+    return _CALIBRATORS[kind].from_state(state)

@@ -1,0 +1,223 @@
+"""Concept-drift detection over the reconstruction-error stream.
+
+A fitted CAE-Ensemble models the training regime; when the data
+distribution drifts, reconstruction errors rise *persistently* (unlike
+point outliers, which spike and vanish).  Watching the error stream with
+classical drift detectors turns that persistence into an explicit signal
+(:class:`DriftEvent`) the engine can act on — e.g. trigger a warm-started
+refresh (:mod:`repro.streaming.refresh`).
+
+Two detectors are provided, both adapted from the change-detection
+literature the DDD line of work builds on (Minku & Yao; Gama et al.):
+
+* :class:`DDMDrift` — the Drift Detection Method control chart adapted
+  from Bernoulli error *rates* to real-valued errors: track the running
+  mean μ and standard deviation σ of the scores, remember the minimal
+  μ+σ, and flag a warning / drift when the running mean exceeds the
+  recorded μ_min by ``warning_level`` / ``drift_level`` multiples of
+  σ_min.  (Levels use σ, not the σ/√n standard error: the running mean
+  of a stationary stream crosses any fixed standard-error band
+  infinitely often, whereas a σ-sized excursion of the *mean* requires a
+  genuine shift.)
+* :class:`PageHinkley` — the Page-Hinkley cumulative-deviation test:
+  accumulate ``score − mean − delta`` and flag drift when the
+  accumulation rises ``threshold`` above its running minimum.
+
+Both auto-reset after flagging drift so detection can recur, and both
+expose ``state_dict`` / ``from_state`` for live-detector checkpointing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional, Type
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftEvent:
+    """One drift (or warning) flagged on the score stream.
+
+    Attributes
+    ----------
+    index:     stream position of the triggering observation.
+    detector:  ``kind`` of the detector that fired.
+    kind:      ``"warning"`` (elevated, keep watching) or ``"drift"``
+               (confirmed change — refresh-worthy).
+    statistic: the test statistic at the trigger.
+    threshold: the level the statistic exceeded.
+    """
+    index: int
+    detector: str
+    kind: str
+    statistic: float
+    threshold: float
+
+
+class DDMDrift:
+    """DDM-style control chart over real-valued reconstruction errors."""
+
+    kind = "ddm"
+
+    def __init__(self, warning_level: float = 2.0, drift_level: float = 3.0,
+                 min_samples: int = 30):
+        if drift_level <= warning_level:
+            raise ValueError(f"drift_level ({drift_level}) must exceed "
+                             f"warning_level ({warning_level})")
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {min_samples}")
+        self.warning_level = warning_level
+        self.drift_level = drift_level
+        self.min_samples = min_samples
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min_mean = math.inf
+        self._min_std = math.inf
+        self._in_warning = False
+
+    @property
+    def in_warning(self) -> bool:
+        return self._in_warning
+
+    def update(self, value: float, index: int) -> Optional[DriftEvent]:
+        """Fold one score in; return an event when a level is crossed."""
+        value = float(value)
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        if self._n < self.min_samples:
+            return None
+        std = math.sqrt(self._m2 / self._n)
+        if self._mean + std < self._min_mean + self._min_std:
+            self._min_mean = self._mean
+            self._min_std = std
+        statistic = self._mean
+        drift_at = self._min_mean + self.drift_level * self._min_std
+        warn_at = self._min_mean + self.warning_level * self._min_std
+        if statistic > drift_at:
+            event = DriftEvent(index=index, detector=self.kind,
+                               kind="drift", statistic=statistic,
+                               threshold=drift_at)
+            self.reset()
+            return event
+        if statistic > warn_at:
+            if not self._in_warning:
+                self._in_warning = True
+                return DriftEvent(index=index, detector=self.kind,
+                                  kind="warning", statistic=statistic,
+                                  threshold=warn_at)
+            return None
+        self._in_warning = False
+        return None
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "warning_level": self.warning_level,
+            "drift_level": self.drift_level,
+            "min_samples": self.min_samples,
+            "n": self._n,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min_mean": self._min_mean,
+            "min_std": self._min_std,
+            "in_warning": self._in_warning,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "DDMDrift":
+        detector = cls(warning_level=float(state["warning_level"]),
+                       drift_level=float(state["drift_level"]),
+                       min_samples=int(state["min_samples"]))
+        detector._n = int(state["n"])
+        detector._mean = float(state["mean"])
+        detector._m2 = float(state["m2"])
+        detector._min_mean = float(state["min_mean"])
+        detector._min_std = float(state["min_std"])
+        detector._in_warning = bool(state["in_warning"])
+        return detector
+
+
+class PageHinkley:
+    """Page-Hinkley test for a sustained upward shift of the score mean."""
+
+    kind = "page_hinkley"
+
+    def __init__(self, delta: float = 0.05, threshold: float = 50.0,
+                 min_samples: int = 30):
+        if delta < 0.0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        if threshold <= 0.0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {min_samples}")
+        self.delta = delta
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def update(self, value: float, index: int) -> Optional[DriftEvent]:
+        value = float(value)
+        self._n += 1
+        self._mean += (value - self._mean) / self._n
+        self._cumulative += value - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._n < self.min_samples:
+            return None
+        statistic = self._cumulative - self._minimum
+        if statistic > self.threshold:
+            event = DriftEvent(index=index, detector=self.kind,
+                               kind="drift", statistic=statistic,
+                               threshold=self.threshold)
+            self.reset()
+            return event
+        return None
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "delta": self.delta,
+            "threshold": self.threshold,
+            "min_samples": self.min_samples,
+            "n": self._n,
+            "mean": self._mean,
+            "cumulative": self._cumulative,
+            "minimum": self._minimum,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "PageHinkley":
+        detector = cls(delta=float(state["delta"]),
+                       threshold=float(state["threshold"]),
+                       min_samples=int(state["min_samples"]))
+        detector._n = int(state["n"])
+        detector._mean = float(state["mean"])
+        detector._cumulative = float(state["cumulative"])
+        detector._minimum = float(state["minimum"])
+        return detector
+
+
+_DETECTORS: Dict[str, Type] = {
+    DDMDrift.kind: DDMDrift,
+    PageHinkley.kind: PageHinkley,
+}
+
+
+def drift_detector_from_state(state: Dict[str, object]):
+    """Rebuild a drift detector from its ``state_dict``."""
+    kind = state.get("kind")
+    if kind not in _DETECTORS:
+        raise ValueError(f"unknown drift detector kind {kind!r}; "
+                         f"known: {sorted(_DETECTORS)}")
+    return _DETECTORS[kind].from_state(state)

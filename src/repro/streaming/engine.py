@@ -1,0 +1,307 @@
+"""The online detection engine: a long-running, drift-aware detector.
+
+:class:`StreamingDetector` turns a fitted :class:`~repro.core.CAEEnsemble`
+into a stream processor.  Each arriving observation is scored by one
+forward pass over the window ending at it (the Table 8 online path); the
+score stream feeds an online threshold calibrator
+(:mod:`repro.streaming.calibration`) and optional concept-drift detectors
+(:mod:`repro.streaming.drift`).  When drift is confirmed and a refresher
+is attached (:mod:`repro.streaming.refresh`), the ensemble is retrained on
+a recent-history buffer, warm-started from the old models' parameters.
+The old ensemble keeps serving while the replacement is built and is
+swapped atomically once ready, so scoring never pauses.
+
+Hot path
+--------
+``update(x)`` scores one observation; ``update_batch(X)`` scores a
+micro-batch of arrivals with **one** forward pass per basic model,
+amortising the per-call overhead (Python dispatch, embedding setup, conv
+im2col) over the whole batch.  Both paths produce identical scores —
+micro-batching is purely a throughput optimisation (see
+``benchmarks/test_streaming_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.ensemble import CAEEnsemble
+from ..datasets.windows import sliding_windows
+from .buffer import HistoryBuffer, SlidingWindow
+from .calibration import calibrator_from_state
+from .drift import DriftEvent, drift_detector_from_state
+from .refresh import RefreshReport
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamUpdate:
+    """Outcome of ingesting one observation.
+
+    ``score`` is None while the very first window is still filling.
+    ``threshold`` is the alert level the score was compared against (None
+    before calibration finished).  ``refreshed`` marks the arrival at
+    which a model refresh completed — usually the drift event's own
+    arrival, later if the refresher's history/cooldown gates deferred it;
+    scores from the next arrival on come from the refreshed ensemble.
+    """
+    index: int
+    score: Optional[float]
+    threshold: Optional[float]
+    alert: bool
+    drift: Optional[DriftEvent] = None
+    refreshed: bool = False
+
+
+class StreamingDetector:
+    """Online outlier detection with drift-aware model refresh.
+
+    Parameters
+    ----------
+    ensemble:        a *fitted* CAE-Ensemble (scored read-only, so many
+                     detectors may share one instance — see
+                     :mod:`repro.streaming.multi`).
+    calibrator:      online threshold calibrator; without one, scores are
+                     produced but no alerts are raised.
+    drift_detector:  drift detector over the score stream; without one, no
+                     :class:`DriftEvent` is ever emitted.
+    refresher:       drift-triggered refresh policy; only consulted when a
+                     ``"drift"``-kind event fires.
+    history:         capacity of the recent-history ring used as the
+                     refresh retraining corpus.
+    """
+
+    def __init__(self, ensemble: CAEEnsemble, calibrator=None,
+                 drift_detector=None, refresher=None, history: int = 2048):
+        if not ensemble.models:
+            raise ValueError("StreamingDetector needs a fitted ensemble")
+        self.ensemble = ensemble
+        self.calibrator = calibrator
+        self.drift_detector = drift_detector
+        self.refresher = refresher
+        window = ensemble.cae_config.window
+        dims = ensemble.cae_config.input_dim
+        if history < window:
+            raise ValueError(f"history ({history}) must hold at least one "
+                             f"window ({window})")
+        self._window = SlidingWindow(window, dims)
+        self._history = HistoryBuffer(history, dims)
+        self._index = 0
+        self._pending_refresh = False
+        self.alerts: List[int] = []
+        self.drift_events: List[DriftEvent] = []
+        self.refresh_reports: List[RefreshReport] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_observations(self) -> int:
+        """Stream arrivals ingested via update/update_batch."""
+        return self._index
+
+    @property
+    def n_alerts(self) -> int:
+        return len(self.alerts)
+
+    @property
+    def n_refreshes(self) -> int:
+        return len(self.refresh_reports)
+
+    @property
+    def threshold(self) -> Optional[float]:
+        return self.calibrator.threshold if self.calibrator else None
+
+    @property
+    def history_length(self) -> int:
+        return len(self._history)
+
+    # ------------------------------------------------------------------
+    def warm_up(self, series: np.ndarray) -> None:
+        """Seed the window/history buffers with context observations.
+
+        Typically the tail of the training series, so the very first
+        stream arrival already completes a full window.  Warm-up rows are
+        context only: they are not scored and do not advance the stream
+        index.
+        """
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim != 2:
+            raise ValueError(f"expected (L, D) series, got {series.shape}")
+        self._window.push_many(series)
+        self._history.push_many(series)
+
+    def update(self, observation: np.ndarray) -> StreamUpdate:
+        """Ingest and score a single observation ``(D,)``."""
+        observation = np.asarray(observation, dtype=np.float64)
+        if observation.ndim != 1:
+            raise ValueError(f"expected a (D,) observation, "
+                             f"got shape {observation.shape}")
+        return self.update_batch(observation[None])[0]
+
+    def update_batch(self, observations: np.ndarray) -> List[StreamUpdate]:
+        """Ingest a micro-batch ``(B, D)`` of consecutive arrivals.
+
+        All B windows are scored with one forward pass per basic model —
+        the throughput path.  Calibration, alerting and drift detection
+        then run per arrival in order, so results are identical to B
+        scalar :meth:`update` calls.  If a mid-batch drift event completes
+        a refresh, the remaining scores of this batch still come from the
+        pre-refresh ensemble (it was serving when they were computed) and
+        are therefore *excluded* from the freshly reset calibration and
+        drift state — they are on the old ensemble's score scale; the
+        refreshed ensemble takes over from the next call.
+        """
+        observations = np.asarray(observations, dtype=np.float64)
+        if observations.ndim != 2 or \
+                observations.shape[1] != self._window.dims:
+            raise ValueError(f"expected (B, {self._window.dims}) "
+                             f"observations, got {observations.shape}")
+        n = observations.shape[0]
+        if n == 0:
+            return []
+        window = self._window.window
+        tail = np.asarray(self._window.tail(min(len(self._window),
+                                                window - 1)))
+        context = np.concatenate([tail, observations]) if tail.size \
+            else observations
+        # Arrival i sits at context row len(tail)+i; it is scoreable once
+        # that row is the end of a full window.
+        first_scoreable = max(0, window - 1 - tail.shape[0])
+        scores: Optional[np.ndarray] = None
+        if context.shape[0] >= window:
+            windows = np.ascontiguousarray(sliding_windows(context, window))
+            scores = self.ensemble.score_windows_last(windows)
+        self._window.push_many(observations)
+        self._history.push_many(observations)
+
+        updates: List[StreamUpdate] = []
+        feed_state = True
+        for i in range(n):
+            index = self._index
+            self._index += 1
+            if scores is None or i < first_scoreable:
+                updates.append(StreamUpdate(index=index, score=None,
+                                            threshold=self.threshold,
+                                            alert=False))
+                continue
+            update = self._ingest_score(
+                index, float(scores[i - first_scoreable]),
+                feed_state=feed_state)
+            if update.refreshed:
+                # The rest of this batch was scored by the replaced
+                # ensemble — keep it out of the fresh calibration state.
+                feed_state = False
+            updates.append(update)
+        return updates
+
+    def _ingest_score(self, index: int, score: float,
+                      feed_state: bool = True) -> StreamUpdate:
+        """Calibrate, alert, detect drift and (maybe) refresh for one score.
+
+        ``feed_state=False`` reports the score without folding it into
+        calibrator/drift state (post-refresh remainder of a micro-batch).
+        """
+        threshold = self.threshold
+        alert = threshold is not None and score > threshold
+        if alert:
+            self.alerts.append(index)
+        if feed_state and self.calibrator is not None:
+            self.calibrator.observe(score)
+        event: Optional[DriftEvent] = None
+        refreshed = False
+        if feed_state and self.drift_detector is not None:
+            event = self.drift_detector.update(score, index)
+        if event is not None:
+            self.drift_events.append(event)
+            if event.kind == "drift" and self.refresher is not None:
+                # Confirmed drift demands a refresh; if the refresher's
+                # gates (history / cooldown) are closed right now, keep
+                # the request pending rather than dropping it.
+                self._pending_refresh = True
+        # Beyond the refresher's own gates, retraining needs at least one
+        # full training window of history.
+        if self._pending_refresh and self.refresher is not None and \
+                len(self._history) > self.ensemble.cae_config.window and \
+                self.refresher.ready(len(self._history), index):
+            refreshed = self._refresh(index)
+            self._pending_refresh = False
+        return StreamUpdate(index=index, score=score, threshold=threshold,
+                            alert=alert, drift=event, refreshed=refreshed)
+
+    def _refresh(self, index: int) -> bool:
+        """Retrain on recent history; swap in the replacement once ready."""
+        replacement, report = self.refresher.refresh(
+            self.ensemble, self._history.to_array(), index)
+        # Atomic swap: the old ensemble served every score up to here.
+        self.ensemble = replacement
+        self.refresh_reports.append(report)
+        # The refreshed ensemble rescales scores (new scaler, new weights):
+        # the old threshold and drift statistics are stale.
+        if self.calibrator is not None:
+            self.calibrator.reset()
+        if self.drift_detector is not None:
+            self.drift_detector.reset()
+        return True
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.core.persistence)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serialisable runtime state (excluding ensemble weights)."""
+        return {
+            "index": self._index,
+            "pending_refresh": self._pending_refresh,
+            "history_capacity": self._history.capacity,
+            "window": self._window.state_dict(),
+            "history": self._history.state_dict(),
+            "alerts": list(self.alerts),
+            "drift_events": [dataclasses.asdict(event)
+                             for event in self.drift_events],
+            "refresh_reports": [dataclasses.asdict(report)
+                                for report in self.refresh_reports],
+            "last_refresh_index": self.refresher.last_refresh_index
+            if self.refresher is not None
+            else (self.refresh_reports[-1].index
+                  if self.refresh_reports else None),
+            "calibrator": self.calibrator.state_dict()
+            if self.calibrator is not None else None,
+            "drift_detector": self.drift_detector.state_dict()
+            if self.drift_detector is not None else None,
+        }
+
+    @classmethod
+    def from_state(cls, ensemble: CAEEnsemble, state: Dict[str, object],
+                   refresher=None) -> "StreamingDetector":
+        """Rebuild a live detector from :meth:`state_dict`.
+
+        The refresher holds policy, not stream state, so it is passed in
+        fresh rather than persisted.
+        """
+        calibrator_state = state.get("calibrator")
+        drift_state = state.get("drift_detector")
+        detector = cls(
+            ensemble,
+            calibrator=calibrator_from_state(calibrator_state)
+            if calibrator_state is not None else None,
+            drift_detector=drift_detector_from_state(drift_state)
+            if drift_state is not None else None,
+            refresher=refresher,
+            history=int(state["history_capacity"]))
+        detector._window.load_state_dict(state["window"])
+        detector._history.load_state_dict(state["history"])
+        detector._index = int(state["index"])
+        detector._pending_refresh = bool(state.get("pending_refresh",
+                                                   False))
+        detector.alerts = [int(i) for i in state["alerts"]]
+        detector.drift_events = [DriftEvent(**event)
+                                 for event in state["drift_events"]]
+        detector.refresh_reports = [RefreshReport(**report)
+                                    for report in
+                                    state.get("refresh_reports", [])]
+        last_refresh = state.get("last_refresh_index")
+        if refresher is not None and last_refresh is not None:
+            # Restore the cooldown clock so a resumed detector cannot
+            # refresh sooner than the live one would have.
+            refresher.last_refresh_index = int(last_refresh)
+        return detector

@@ -1,0 +1,137 @@
+"""Serving many streams at once: the :class:`StreamFleet`.
+
+Production monitoring rarely watches one series — an SMD-style deployment
+watches hundreds of servers.  The fleet shards named streams over
+detectors created by a factory: every stream needs its *own* sliding
+window, calibrator and drift state (streams drift independently), but the
+expensive part — the fitted ensemble — is read-only during scoring and is
+shared across all detectors the factory closes over.
+
+``shared_fleet`` is the common construction: one fitted ensemble, one
+detector per stream, per-stream calibration::
+
+    fleet = shared_fleet(ensemble,
+                         calibrator_factory=lambda: BurnInMAD(200, 8.0),
+                         drift_factory=DDMDrift)
+    fleet.update_batch("server-12", batch)          # lazily creates it
+    fleet.stats()                                   # per-stream counters
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from ..core.ensemble import CAEEnsemble
+from .engine import StreamingDetector, StreamUpdate
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamStats:
+    """Per-stream counters surfaced by :meth:`StreamFleet.stats`."""
+    name: str
+    n_observations: int
+    n_alerts: int
+    n_drift_events: int
+    n_refreshes: int
+
+
+class StreamFleet:
+    """Named streams sharded over factory-created detectors.
+
+    Parameters
+    ----------
+    detector_factory: called with the stream name on first sight of that
+                      name; returns the :class:`StreamingDetector` that
+                      will own the stream.  Factories typically close over
+                      one shared fitted ensemble.
+    """
+
+    def __init__(self,
+                 detector_factory: Callable[[str], StreamingDetector]):
+        self._factory = detector_factory
+        self._detectors: Dict[str, StreamingDetector] = {}
+
+    def __len__(self) -> int:
+        return len(self._detectors)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._detectors
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._detectors)
+
+    def detector(self, name: str) -> StreamingDetector:
+        """The detector owning ``name`` (created on first access)."""
+        if name not in self._detectors:
+            self._detectors[name] = self._factory(name)
+        return self._detectors[name]
+
+    # ------------------------------------------------------------------
+    def update(self, name: str, observation: np.ndarray) -> StreamUpdate:
+        """Route one observation to its stream's detector."""
+        return self.detector(name).update(observation)
+
+    def update_batch(self, name: str,
+                     observations: np.ndarray) -> List[StreamUpdate]:
+        """Route a micro-batch to its stream's detector."""
+        return self.detector(name).update_batch(observations)
+
+    def update_many(self, batches: Mapping[str, np.ndarray]
+                    ) -> Dict[str, List[StreamUpdate]]:
+        """Ingest one micro-batch per stream, e.g. a scrape tick that
+        collected a few seconds of telemetry from every server."""
+        return {name: self.update_batch(name, observations)
+                for name, observations in batches.items()}
+
+    def warm_up(self, name: str, series: np.ndarray) -> None:
+        self.detector(name).warm_up(series)
+
+    # ------------------------------------------------------------------
+    def stats(self, names: Optional[Iterable[str]] = None
+              ) -> List[StreamStats]:
+        """Counters per stream, sorted by name."""
+        selected = self.names if names is None else sorted(names)
+        stats = []
+        for name in selected:
+            detector = self._detectors[name]
+            stats.append(StreamStats(
+                name=name,
+                n_observations=detector.n_observations,
+                n_alerts=detector.n_alerts,
+                n_drift_events=len(detector.drift_events),
+                n_refreshes=detector.n_refreshes))
+        return stats
+
+    @property
+    def total_observations(self) -> int:
+        return sum(d.n_observations for d in self._detectors.values())
+
+    @property
+    def total_alerts(self) -> int:
+        return sum(d.n_alerts for d in self._detectors.values())
+
+
+def shared_fleet(ensemble: CAEEnsemble,
+                 calibrator_factory: Optional[Callable[[], object]] = None,
+                 drift_factory: Optional[Callable[[], object]] = None,
+                 refresher_factory: Optional[Callable[[], object]] = None,
+                 history: int = 2048) -> StreamFleet:
+    """A fleet whose streams all score against one shared ensemble.
+
+    Each stream still gets its own calibrator / drift detector /
+    refresher instance (stream state is never shared).  Note that a
+    per-stream refresh replaces only that stream's serving ensemble —
+    other streams keep the shared original.
+    """
+    def factory(name: str) -> StreamingDetector:
+        return StreamingDetector(
+            ensemble,
+            calibrator=calibrator_factory() if calibrator_factory else None,
+            drift_detector=drift_factory() if drift_factory else None,
+            refresher=refresher_factory() if refresher_factory else None,
+            history=history)
+    return StreamFleet(factory)

@@ -1,0 +1,132 @@
+"""Drift-triggered, warm-started ensemble refresh.
+
+When the drift layer confirms the serving ensemble no longer models the
+stream (:class:`~repro.streaming.drift.DriftEvent` of kind ``"drift"``),
+the engine asks an :class:`EnsembleRefresher` to build a replacement:
+
+* the retraining corpus is the engine's recent-history ring — the traffic
+  the refreshed ensemble must actually model;
+* each new basic model warm-starts from its predecessor generation via
+  the paper's β-fraction parameter transfer
+  (:func:`repro.core.transfer.transfer_parameters`, the Table 7 training
+  saver), so refreshes are far cheaper than cold retrains while the
+  un-copied fraction lets the models adapt to the shifted regime;
+* the build happens on a *new* :class:`~repro.core.CAEEnsemble` instance;
+  the engine keeps serving the old one and swaps atomically when the
+  replacement is ready.
+
+A ``cooldown`` and ``min_history`` gate prevents refresh storms when a
+noisy stream re-triggers drift immediately after a refresh.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.ensemble import CAEEnsemble
+
+
+@dataclasses.dataclass(frozen=True)
+class RefreshReport:
+    """Summary of one completed refresh."""
+    index: int
+    history_length: int
+    train_seconds: float
+    warm_start_fraction: float
+    copied_fraction: float
+
+    @property
+    def warm_started(self) -> bool:
+        return self.copied_fraction > 0.0
+
+
+class EnsembleRefresher:
+    """Policy + mechanism for drift-triggered warm-started retraining.
+
+    Parameters
+    ----------
+    min_history:         observations required in the history buffer
+                         before a refresh is allowed.  None disables this
+                         gate — the engine then only requires enough
+                         history for one training window, so set an
+                         explicit floor for production streams.
+    cooldown:            minimum stream distance between refreshes.
+    warm_start_fraction: β-fraction of old-model parameters copied into
+                         each corresponding new model (default: the
+                         ensemble config's transfer β).
+    epochs_per_model:    training budget per basic model for refreshes
+                         (default: same as the original fit).
+    """
+
+    def __init__(self, min_history: Optional[int] = None, cooldown: int = 0,
+                 warm_start_fraction: Optional[float] = None,
+                 epochs_per_model: Optional[int] = None):
+        if min_history is not None and min_history < 1:
+            raise ValueError(f"min_history must be >= 1, got {min_history}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        if warm_start_fraction is not None and \
+                not 0.0 <= warm_start_fraction <= 1.0:
+            raise ValueError(f"warm_start_fraction must be in [0, 1], "
+                             f"got {warm_start_fraction}")
+        if epochs_per_model is not None and epochs_per_model < 1:
+            raise ValueError(f"epochs_per_model must be >= 1, "
+                             f"got {epochs_per_model}")
+        self.min_history = min_history
+        self.cooldown = cooldown
+        self.warm_start_fraction = warm_start_fraction
+        self.epochs_per_model = epochs_per_model
+        self.reports: List[RefreshReport] = []
+        # Stream position of the newest refresh; checkpoint/resume restores
+        # it so the cooldown clock survives restarts.
+        self.last_refresh_index: Optional[int] = None
+
+    @property
+    def n_refreshes(self) -> int:
+        return len(self.reports)
+
+    def ready(self, history_length: int, index: int) -> bool:
+        """Whether a refresh may run now (history + cooldown gates)."""
+        required = self.min_history
+        if required is not None and history_length < required:
+            return False
+        if self.last_refresh_index is not None and \
+                index - self.last_refresh_index < self.cooldown:
+            return False
+        return True
+
+    def refresh(self, ensemble: CAEEnsemble, history: np.ndarray,
+                index: int) -> Tuple[CAEEnsemble, RefreshReport]:
+        """Build a warm-started replacement trained on ``history``.
+
+        The passed ``ensemble`` is left untouched — it keeps serving until
+        the caller swaps in the returned replacement.
+        """
+        history = np.asarray(history, dtype=np.float64)
+        window = ensemble.cae_config.window
+        if history.shape[0] < window + 1:
+            raise ValueError(f"history of {history.shape[0]} observations "
+                             f"cannot fill a training window of {window}")
+        beta = ensemble.config.transfer_fraction \
+            if self.warm_start_fraction is None else self.warm_start_fraction
+        overrides = {"seed": ensemble.config.seed + self.n_refreshes + 1}
+        if self.epochs_per_model is not None:
+            overrides["epochs_per_model"] = self.epochs_per_model
+        config = dataclasses.replace(ensemble.config, **overrides)
+        replacement = CAEEnsemble(ensemble.cae_config, config)
+        replacement.fit(history, warm_start=ensemble.models,
+                        warm_start_fraction=beta)
+        copied = sum(r.copied_parameters for r in replacement.transfer_reports)
+        total = sum(r.total_parameters for r in replacement.transfer_reports)
+        report = RefreshReport(index=index,
+                               history_length=int(history.shape[0]),
+                               train_seconds=replacement.train_seconds_,
+                               warm_start_fraction=beta,
+                               copied_fraction=copied / total if total
+                               else 0.0)
+        self.reports.append(report)
+        self.last_refresh_index = index
+        return replacement, report

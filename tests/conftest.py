@@ -46,3 +46,35 @@ def planted_dataset():
 def tiny_windows(rng):
     """A small (N, w, D) window batch for model unit tests."""
     return rng.standard_normal((40, 8, 3))
+
+
+def sine_regime(n: int, start: int = 0, shift: float = 0.0,
+                noise: float = 0.05, seed: int = 0) -> np.ndarray:
+    """A 2-D sinusoidal stream segment; ``shift`` models a regime change.
+
+    Segments with the same seed but different ``start`` values continue
+    each other's phase, so concatenations read as one continuous stream.
+    """
+    generator = np.random.default_rng(seed + start)
+    t = np.arange(start, start + n)
+    base = np.stack([np.sin(2 * np.pi * t / 17),
+                     np.cos(2 * np.pi * t / 23)], axis=1)
+    return base + shift + noise * generator.standard_normal((n, 2))
+
+
+def make_stream_ensemble(seed: int = 0, epochs: int = 2):
+    """A tiny fitted CAE-Ensemble over the :func:`sine_regime` stream."""
+    from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig
+    ensemble = CAEEnsemble(
+        CAEConfig(input_dim=2, embed_dim=8, window=8, n_layers=1),
+        EnsembleConfig(n_models=2, epochs_per_model=epochs, seed=seed,
+                       max_training_windows=128))
+    ensemble.fit(sine_regime(360, seed=7))
+    return ensemble
+
+
+@pytest.fixture(scope="session")
+def stream_ensemble():
+    """Session-shared fitted ensemble for streaming tests (scored
+    read-only — never mutate it; refreshes build new instances)."""
+    return make_stream_ensemble()

@@ -1,0 +1,76 @@
+"""Edge cases of β parameter transfer exercised by the refresh path."""
+
+import numpy as np
+import pytest
+
+from repro.core import CAE, CAEConfig, transfer_parameters
+
+
+def make_model(seed: int) -> CAE:
+    config = CAEConfig(input_dim=3, embed_dim=8, window=8, n_layers=1)
+    return CAE(config, np.random.default_rng(seed))
+
+
+def snapshot(model: CAE):
+    return {name: value.data.copy()
+            for name, value in model.named_parameters()}
+
+
+class TestTransferEdges:
+    def test_beta_zero_copies_nothing_exactly(self):
+        source, target = make_model(0), make_model(1)
+        before = snapshot(target)
+        report = transfer_parameters(source, target, 0.0,
+                                     np.random.default_rng(2))
+        assert report.copied_parameters == 0
+        assert report.copied_fraction == 0.0
+        for name, value in target.named_parameters():
+            np.testing.assert_array_equal(value.data, before[name])
+
+    def test_beta_one_copies_everything_exactly(self):
+        source, target = make_model(0), make_model(1)
+        report = transfer_parameters(source, target, 1.0,
+                                     np.random.default_rng(2))
+        assert report.copied_parameters == report.total_parameters
+        assert report.copied_fraction == 1.0
+        source_params = dict(source.named_parameters())
+        for name, value in target.named_parameters():
+            np.testing.assert_array_equal(value.data,
+                                          source_params[name].data)
+
+    def test_transfer_between_mismatched_seeds(self):
+        """Refresh transfers between generations initialised from
+        different seeds — entries split between copied (== source) and
+        kept (== fresh init), with the copied mass near β."""
+        source, target = make_model(11), make_model(99)
+        fresh = snapshot(target)
+        report = transfer_parameters(source, target, 0.5,
+                                     np.random.default_rng(3))
+        assert 0.4 < report.copied_fraction < 0.6
+        source_params = dict(source.named_parameters())
+        copied = kept = mismatched = 0
+        for name, value in target.named_parameters():
+            from_source = value.data == source_params[name].data
+            from_fresh = value.data == fresh[name]
+            copied += int(from_source.sum())
+            kept += int((from_fresh & ~from_source).sum())
+            mismatched += int((~from_source & ~from_fresh).sum())
+        assert mismatched == 0
+        assert copied >= report.copied_parameters  # coincidences allowed
+        assert kept > 0
+
+    def test_invalid_beta_rejected(self):
+        source, target = make_model(0), make_model(1)
+        for beta in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                transfer_parameters(source, target, beta,
+                                    np.random.default_rng(0))
+
+    def test_structure_mismatch_rejected(self):
+        source = make_model(0)
+        other_config = CAEConfig(input_dim=3, embed_dim=8, window=8,
+                                 n_layers=2)
+        target = CAE(other_config, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            transfer_parameters(source, target, 0.5,
+                                np.random.default_rng(2))

@@ -119,3 +119,65 @@ class TestEventReport:
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):
             event_report(np.zeros(3, dtype=int), np.zeros(4, dtype=int))
+
+
+class TestStreamEventReport:
+    def test_latency_per_segment(self):
+        from repro.metrics import stream_event_report
+        #        segment A: 2..5      segment B: 8..10
+        labels = np.array([0, 0, 1, 1, 1, 1, 0, 0, 1, 1, 0])
+        report = stream_event_report(labels, alert_indices=[4, 5, 8],
+                                     drift_indices=[6], n_refreshes=1)
+        assert report.n_events == 2
+        assert report.n_detected == 2
+        assert report.latencies == (2, 0)   # first alerts at 4 and 8
+        assert report.mean_latency == 1.0
+        assert report.event_recall == 1.0
+        assert report.n_false_alarms == 0
+        assert report.n_drift_events == 1
+        assert report.n_refreshes == 1
+
+    def test_false_alarms_and_misses(self):
+        from repro.metrics import stream_event_report
+        labels = np.array([0, 0, 1, 1, 0, 0, 1, 0])
+        report = stream_event_report(labels, alert_indices=[0, 5])
+        assert report.n_events == 2
+        assert report.n_detected == 0
+        assert report.latencies == ()
+        assert np.isnan(report.mean_latency)
+        assert report.n_false_alarms == 2
+        assert report.n_alerts == 2
+
+    def test_unsorted_alerts_use_earliest(self):
+        from repro.metrics import stream_event_report
+        labels = np.array([0, 1, 1, 1, 0])
+        report = stream_event_report(labels, alert_indices=[3, 1])
+        assert report.latencies == (0,)
+
+    def test_out_of_range_alert_rejected(self):
+        from repro.metrics import stream_event_report
+        with pytest.raises(ValueError):
+            stream_event_report(np.zeros(4, dtype=int), alert_indices=[4])
+
+    def test_from_streaming_run(self, stream_ensemble):
+        """End-to-end: the engine's counters feed the report directly."""
+        from repro.metrics import stream_event_report
+        from repro.streaming import BurnInMAD, StreamingDetector
+        from tests.conftest import sine_regime
+        stream = sine_regime(140, start=360)
+        labels = np.zeros(140, dtype=int)
+        for position in (100, 120):
+            stream[position] += 8.0
+            labels[position] = 1
+        detector = StreamingDetector(stream_ensemble,
+                                     calibrator=BurnInMAD(60, 8.0),
+                                     history=256)
+        detector.warm_up(sine_regime(7, start=353))
+        detector.update_batch(stream)
+        report = stream_event_report(
+            labels, detector.alerts,
+            drift_indices=[e.index for e in detector.drift_events],
+            n_refreshes=detector.n_refreshes)
+        assert report.n_events == 2
+        assert report.n_detected == 2
+        assert report.mean_latency == 0.0   # point outliers: caught on hit

@@ -1,0 +1,123 @@
+"""Online threshold calibration: burn-in MAD and decayed quantile."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import (BurnInMAD, DecayedQuantile,
+                             calibrator_from_state, robust_mad_threshold)
+
+
+class TestRobustMADThreshold:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        scores = rng.standard_normal(500)
+        median = np.median(scores)
+        mad = np.median(np.abs(scores - median))
+        assert robust_mad_threshold(scores, 8.0) == \
+            pytest.approx(median + 8.0 * mad)
+
+    def test_robust_to_contamination(self):
+        scores = np.concatenate([np.ones(95), np.full(5, 1e6)])
+        # Mean-based levels would explode; median+MAD ignores the spikes.
+        assert robust_mad_threshold(scores, 8.0) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            robust_mad_threshold(np.array([]), 8.0)
+
+
+class TestBurnInMAD:
+    def test_calibrates_after_burn_in(self):
+        rng = np.random.default_rng(1)
+        scores = rng.exponential(size=60)
+        calibrator = BurnInMAD(burn_in=50, k=6.0)
+        for score in scores[:49]:
+            calibrator.observe(score)
+            assert calibrator.threshold is None
+        calibrator.observe(scores[49])
+        assert calibrator.ready
+        assert calibrator.threshold == \
+            pytest.approx(robust_mad_threshold(scores[:50], 6.0))
+        # Frozen after burn-in: later scores do not move it.
+        frozen = calibrator.threshold
+        for score in scores[50:]:
+            calibrator.observe(score)
+        assert calibrator.threshold == frozen
+
+    def test_reset_restarts_burn_in(self):
+        calibrator = BurnInMAD(burn_in=3, k=1.0)
+        for score in (1.0, 2.0, 3.0):
+            calibrator.observe(score)
+        assert calibrator.ready
+        calibrator.reset()
+        assert calibrator.threshold is None
+
+    def test_state_round_trip_mid_burn_in(self):
+        calibrator = BurnInMAD(burn_in=5, k=2.0)
+        calibrator.observe(1.0)
+        calibrator.observe(2.0)
+        clone = calibrator_from_state(calibrator.state_dict())
+        for score in (3.0, 4.0, 5.0):
+            calibrator.observe(score)
+            clone.observe(score)
+        assert clone.threshold == calibrator.threshold
+        assert clone.threshold is not None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BurnInMAD(burn_in=0)
+        with pytest.raises(ValueError):
+            BurnInMAD(k=0.0)
+
+
+class TestDecayedQuantile:
+    def test_tracks_a_stationary_quantile(self):
+        rng = np.random.default_rng(2)
+        calibrator = DecayedQuantile(quantile=0.9, decay=0.98, warmup=100)
+        for score in rng.uniform(0.0, 1.0, size=4000):
+            calibrator.observe(score)
+        assert calibrator.ready
+        assert 0.8 <= calibrator.threshold <= 1.0
+
+    def test_adapts_to_level_shift(self):
+        rng = np.random.default_rng(3)
+        calibrator = DecayedQuantile(quantile=0.9, decay=0.95, warmup=50)
+        for score in rng.uniform(0.0, 1.0, size=1000):
+            calibrator.observe(score)
+        before = calibrator.threshold
+        for score in rng.uniform(10.0, 11.0, size=3000):
+            calibrator.observe(score)
+        assert calibrator.threshold > before + 5.0   # followed the shift
+
+    def test_warmup_then_threshold(self):
+        calibrator = DecayedQuantile(quantile=0.5, decay=0.9, warmup=4)
+        for score in (1.0, 2.0, 3.0):
+            calibrator.observe(score)
+            assert calibrator.threshold is None
+        calibrator.observe(4.0)
+        assert calibrator.threshold == pytest.approx(2.5)
+
+    def test_state_round_trip(self):
+        rng = np.random.default_rng(4)
+        calibrator = DecayedQuantile(quantile=0.8, decay=0.97, warmup=20)
+        for score in rng.exponential(size=100):
+            calibrator.observe(score)
+        clone = calibrator_from_state(calibrator.state_dict())
+        assert clone.threshold == calibrator.threshold
+        for score in rng.exponential(size=50):
+            calibrator.observe(score)
+            clone.observe(score)
+        assert clone.threshold == calibrator.threshold
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DecayedQuantile(quantile=1.0)
+        with pytest.raises(ValueError):
+            DecayedQuantile(decay=0.0)
+        with pytest.raises(ValueError):
+            DecayedQuantile(warmup=1)
+
+
+def test_unknown_calibrator_kind_rejected():
+    with pytest.raises(ValueError):
+        calibrator_from_state({"kind": "nope"})

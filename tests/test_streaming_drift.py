@@ -1,0 +1,118 @@
+"""Concept-drift detectors over the score stream."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import (DDMDrift, DriftEvent, PageHinkley,
+                             drift_detector_from_state)
+
+
+def feed(detector, values, start_index=0):
+    events = []
+    for offset, value in enumerate(values):
+        event = detector.update(value, start_index + offset)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+class TestDDMDrift:
+    def test_flags_mean_shift(self):
+        rng = np.random.default_rng(0)
+        stationary = rng.normal(1.0, 0.1, size=300)
+        shifted = rng.normal(4.0, 0.1, size=100)
+        detector = DDMDrift(min_samples=30)
+        # Warnings may blip on stationary noise (a 2-sigma chart), but
+        # drift must not be confirmed before the shift.
+        stationary_events = feed(detector, stationary)
+        assert [e for e in stationary_events if e.kind == "drift"] == []
+        events = feed(detector, shifted, start_index=300)
+        drifts = [e for e in events if e.kind == "drift"]
+        assert len(drifts) == 1
+        event = drifts[0]
+        assert event.detector == "ddm"
+        assert event.index >= 300            # flagged inside the shift
+        assert event.statistic > event.threshold
+
+    def test_warning_precedes_drift_on_gradual_shift(self):
+        rng = np.random.default_rng(1)
+        ramp = np.concatenate([rng.normal(1.0, 0.05, size=200),
+                               1.0 + np.linspace(0.0, 1.0, 300) +
+                               rng.normal(0.0, 0.05, size=300)])
+        events = feed(DDMDrift(min_samples=30), ramp)
+        kinds = [e.kind for e in events]
+        assert "drift" in kinds
+        assert "warning" in kinds
+        assert kinds.index("warning") < kinds.index("drift")
+
+    def test_resets_after_drift_and_can_refire(self):
+        rng = np.random.default_rng(2)
+        wave = np.concatenate([rng.normal(1.0, 0.1, size=200),
+                               rng.normal(5.0, 0.1, size=200),
+                               rng.normal(12.0, 0.1, size=200)])
+        events = feed(DDMDrift(min_samples=30), wave)
+        drifts = [e for e in events if e.kind == "drift"]
+        assert len(drifts) >= 2
+
+    def test_quiet_on_stationary_noise(self):
+        rng = np.random.default_rng(3)
+        events = feed(DDMDrift(min_samples=30),
+                      rng.normal(2.0, 0.5, size=2000))
+        assert [e for e in events if e.kind == "drift"] == []
+
+    def test_state_round_trip(self):
+        rng = np.random.default_rng(4)
+        detector = DDMDrift(min_samples=20)
+        feed(detector, rng.normal(1.0, 0.2, size=100))
+        clone = drift_detector_from_state(detector.state_dict())
+        tail = rng.normal(6.0, 0.2, size=50)
+        assert feed(detector, tail, 100) == feed(clone, tail, 100)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DDMDrift(warning_level=3.0, drift_level=2.0)
+        with pytest.raises(ValueError):
+            DDMDrift(min_samples=1)
+
+
+class TestPageHinkley:
+    def test_flags_mean_shift(self):
+        rng = np.random.default_rng(5)
+        stream = np.concatenate([rng.normal(1.0, 0.1, size=300),
+                                 rng.normal(3.0, 0.1, size=100)])
+        detector = PageHinkley(delta=0.05, threshold=25.0, min_samples=30)
+        events = feed(detector, stream)
+        assert len(events) == 1
+        assert events[0].kind == "drift"
+        assert events[0].detector == "page_hinkley"
+        assert events[0].index >= 300
+
+    def test_quiet_on_stationary_noise(self):
+        rng = np.random.default_rng(6)
+        detector = PageHinkley(delta=0.1, threshold=50.0, min_samples=30)
+        assert feed(detector, rng.normal(1.0, 0.3, size=3000)) == []
+
+    def test_state_round_trip(self):
+        rng = np.random.default_rng(7)
+        detector = PageHinkley(delta=0.02, threshold=10.0, min_samples=10)
+        feed(detector, rng.normal(0.5, 0.1, size=80))
+        clone = drift_detector_from_state(detector.state_dict())
+        tail = rng.normal(2.5, 0.1, size=40)
+        assert feed(detector, tail, 80) == feed(clone, tail, 80)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PageHinkley(delta=-0.1)
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+
+
+def test_drift_event_fields_serialise():
+    event = DriftEvent(index=12, detector="ddm", kind="drift",
+                       statistic=3.4, threshold=2.1)
+    assert event.index == 12 and event.kind == "drift"
+
+
+def test_unknown_detector_kind_rejected():
+    with pytest.raises(ValueError):
+        drift_detector_from_state({"kind": "nope"})

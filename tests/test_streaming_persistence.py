@@ -1,0 +1,125 @@
+"""Checkpointing a live StreamingDetector across process restarts."""
+
+import numpy as np
+import pytest
+
+from repro.core import load_streaming_detector, save_streaming_detector
+from repro.streaming import (BurnInMAD, DDMDrift, DecayedQuantile,
+                             EnsembleRefresher, PageHinkley,
+                             StreamingDetector)
+from tests.conftest import sine_regime
+
+
+def make_detector(stream_ensemble, calibrator, drift_detector):
+    detector = StreamingDetector(stream_ensemble, calibrator=calibrator,
+                                 drift_detector=drift_detector, history=128)
+    detector.warm_up(sine_regime(7, start=353))
+    return detector
+
+
+class TestStreamingDetectorRoundTrip:
+    def test_bit_identical_scores_and_threshold(self, stream_ensemble,
+                                                tmp_path):
+        """The satellite acceptance: a reloaded live detector continues
+        with bit-identical scores and identical threshold state."""
+        detector = make_detector(stream_ensemble, BurnInMAD(40, 8.0),
+                                 DDMDrift(min_samples=20))
+        detector.update_batch(sine_regime(70, start=360))
+        save_streaming_detector(detector, str(tmp_path / "ckpt"))
+        resumed = load_streaming_detector(str(tmp_path / "ckpt"))
+
+        assert resumed.threshold == detector.threshold   # exact, not approx
+        assert resumed.n_observations == detector.n_observations
+        assert resumed.alerts == detector.alerts
+        assert resumed.drift_events == detector.drift_events
+
+        # Both continue over the same future traffic: bit-identical.
+        future = sine_regime(50, start=430)
+        future[20] += 7.0
+        original_updates = detector.update_batch(future)
+        resumed_updates = resumed.update_batch(future)
+        for left, right in zip(original_updates, resumed_updates):
+            assert left == right            # frozen dataclass: exact floats
+        assert resumed.alerts == detector.alerts
+        assert resumed.threshold == detector.threshold
+
+    def test_mid_burn_in_round_trip(self, stream_ensemble, tmp_path):
+        detector = make_detector(stream_ensemble, BurnInMAD(60, 8.0),
+                                 PageHinkley(threshold=30.0))
+        detector.update_batch(sine_regime(30, start=360))
+        assert detector.threshold is None   # still burning in
+        save_streaming_detector(detector, str(tmp_path / "ckpt"))
+        resumed = load_streaming_detector(str(tmp_path / "ckpt"))
+        tail = sine_regime(40, start=390)
+        for left, right in zip(detector.update_batch(tail),
+                               resumed.update_batch(tail)):
+            assert left == right
+        assert detector.threshold is not None
+        assert resumed.threshold == detector.threshold
+
+    def test_decayed_quantile_round_trip(self, stream_ensemble, tmp_path):
+        detector = make_detector(stream_ensemble,
+                                 DecayedQuantile(0.95, 0.97, warmup=20),
+                                 None)
+        detector.update_batch(sine_regime(50, start=360))
+        save_streaming_detector(detector, str(tmp_path / "ckpt"))
+        resumed = load_streaming_detector(str(tmp_path / "ckpt"))
+        tail = sine_regime(25, start=410)
+        detector.update_batch(tail)
+        resumed.update_batch(tail)
+        assert resumed.threshold == detector.threshold
+
+    def test_refresher_is_reattached_fresh(self, stream_ensemble, tmp_path):
+        detector = make_detector(stream_ensemble, None,
+                                 DDMDrift(min_samples=20))
+        detector.update_batch(sine_regime(40, start=360))
+        save_streaming_detector(detector, str(tmp_path / "ckpt"))
+        refresher = EnsembleRefresher(min_history=64, epochs_per_model=1)
+        resumed = load_streaming_detector(str(tmp_path / "ckpt"),
+                                          refresher=refresher)
+        assert resumed.refresher is refresher
+        # The resumed detector can refresh: drive it across a regime shift.
+        resumed.update_batch(sine_regime(100, start=400, shift=3.0))
+        assert resumed.n_refreshes >= 1
+
+    def test_refresh_history_and_cooldown_clock_survive_resume(
+            self, stream_ensemble, tmp_path):
+        detector = make_detector(stream_ensemble, None,
+                                 DDMDrift(min_samples=20))
+        detector.refresher = EnsembleRefresher(min_history=64,
+                                               cooldown=10 ** 6,
+                                               epochs_per_model=1)
+        detector.update_batch(sine_regime(40, start=360))
+        detector.update_batch(sine_regime(100, start=400, shift=3.0))
+        assert detector.n_refreshes == 1
+        save_streaming_detector(detector, str(tmp_path / "ckpt"))
+        fresh_refresher = EnsembleRefresher(min_history=64,
+                                            cooldown=10 ** 6,
+                                            epochs_per_model=1)
+        resumed = load_streaming_detector(str(tmp_path / "ckpt"),
+                                          refresher=fresh_refresher)
+        assert resumed.n_refreshes == 1
+        assert resumed.refresh_reports == detector.refresh_reports
+        assert fresh_refresher.last_refresh_index == \
+            detector.refresh_reports[0].index
+        # The restored cooldown clock blocks an immediate re-refresh even
+        # across another regime change.
+        resumed.update_batch(sine_regime(100, start=500, shift=-4.0))
+        assert resumed.n_refreshes == 1
+
+    def test_detector_without_optional_parts(self, stream_ensemble,
+                                             tmp_path):
+        detector = StreamingDetector(stream_ensemble, history=64)
+        detector.update_batch(sine_regime(20, start=360))
+        save_streaming_detector(detector, str(tmp_path / "ckpt"))
+        resumed = load_streaming_detector(str(tmp_path / "ckpt"))
+        assert resumed.calibrator is None
+        assert resumed.drift_detector is None
+        tail = sine_regime(10, start=380)
+        for left, right in zip(detector.update_batch(tail),
+                               resumed.update_batch(tail)):
+            assert left == right
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_streaming_detector(str(tmp_path / "nowhere"))

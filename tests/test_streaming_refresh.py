@@ -1,0 +1,136 @@
+"""Drift-triggered warm-started refresh — policy units and the end-to-end
+acceptance scenario: injected drift → DriftEvent → warm-started refresh →
+post-refresh scores beat the stale ensemble on the shifted regime."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import (DDMDrift, EnsembleRefresher, StreamingDetector)
+from tests.conftest import make_stream_ensemble, sine_regime
+
+
+class TestRefresherPolicy:
+    def test_history_and_cooldown_gates(self):
+        refresher = EnsembleRefresher(min_history=100, cooldown=50)
+        assert not refresher.ready(history_length=99, index=10)
+        assert refresher.ready(history_length=100, index=10)
+        refresher.last_refresh_index = 10
+        assert not refresher.ready(history_length=200, index=59)
+        assert refresher.ready(history_length=200, index=60)
+
+    def test_refresh_warm_starts_and_preserves_the_old_ensemble(self):
+        ensemble = make_stream_ensemble(epochs=1)
+        old_states = [{name: value.data.copy()
+                       for name, value in model.named_parameters()}
+                      for model in ensemble.models]
+        refresher = EnsembleRefresher(epochs_per_model=1,
+                                      warm_start_fraction=0.5)
+        history = sine_regime(120, start=360, shift=2.0)
+        replacement, report = refresher.refresh(ensemble, history, index=42)
+        assert replacement is not ensemble
+        assert replacement.n_models == ensemble.n_models
+        assert report.index == 42
+        assert report.history_length == 120
+        assert report.warm_started
+        assert 0.3 < report.copied_fraction < 0.7
+        # The serving ensemble was never touched.
+        for model, saved in zip(ensemble.models, old_states):
+            for name, value in model.named_parameters():
+                np.testing.assert_array_equal(value.data, saved[name])
+        assert refresher.n_refreshes == 1
+
+    def test_refresh_rejects_short_history(self):
+        ensemble = make_stream_ensemble(epochs=1)
+        refresher = EnsembleRefresher()
+        with pytest.raises(ValueError):
+            refresher.refresh(ensemble, sine_regime(4), index=0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EnsembleRefresher(min_history=0)
+        with pytest.raises(ValueError):
+            EnsembleRefresher(cooldown=-1)
+        with pytest.raises(ValueError):
+            EnsembleRefresher(warm_start_fraction=1.5)
+        with pytest.raises(ValueError):
+            EnsembleRefresher(epochs_per_model=0)
+
+
+class TestDriftRefreshIntegration:
+    def test_drift_triggers_refresh_that_beats_the_stale_ensemble(self):
+        """The acceptance scenario from the issue, end to end."""
+        stale = make_stream_ensemble(epochs=2)
+        detector = StreamingDetector(
+            stale,
+            drift_detector=DDMDrift(min_samples=20),
+            refresher=EnsembleRefresher(min_history=80, epochs_per_model=2),
+            history=256)
+        detector.warm_up(sine_regime(7, start=353))
+
+        # A stationary stretch, then a persistent level shift.
+        detector.update_batch(sine_regime(60, start=360))
+        shifted = sine_regime(200, start=420, shift=3.0)
+        for start in range(0, 200, 20):
+            detector.update_batch(shifted[start:start + 20])
+
+        drifts = [e for e in detector.drift_events if e.kind == "drift"]
+        assert len(drifts) >= 1, "injected shift never flagged as drift"
+        assert drifts[0].index >= 60, "drift flagged before the shift"
+        assert detector.n_refreshes >= 1, "drift never triggered a refresh"
+        report = detector.refresh_reports[0]
+        assert report.warm_started, "refresh was not warm-started"
+        assert report.index == drifts[0].index
+        assert detector.ensemble is not stale
+
+        # The refreshed ensemble must model the shifted regime better than
+        # the stale one it replaced.
+        holdout = sine_regime(120, start=620, shift=3.0)
+        stale_error = float(np.mean(stale.score(holdout)))
+        fresh_error = float(np.mean(detector.ensemble.score(holdout)))
+        assert fresh_error < stale_error, (
+            f"refresh did not improve on the shifted regime: "
+            f"stale {stale_error:.3f} vs refreshed {fresh_error:.3f}")
+
+    def test_refresh_resets_calibration_and_drift_state(self):
+        from repro.streaming import BurnInMAD
+        stale = make_stream_ensemble(epochs=1)
+        detector = StreamingDetector(
+            stale,
+            calibrator=BurnInMAD(30, 8.0),
+            drift_detector=DDMDrift(min_samples=20),
+            refresher=EnsembleRefresher(min_history=80, epochs_per_model=1),
+            history=256)
+        detector.warm_up(sine_regime(7, start=353))
+        detector.update_batch(sine_regime(60, start=360))
+        assert detector.threshold is not None
+        shifted = sine_regime(100, start=420, shift=3.0)
+        refreshed_at = None
+        for start in range(0, 100, 10):
+            updates = detector.update_batch(shifted[start:start + 10])
+            if refreshed_at is None and any(u.refreshed for u in updates):
+                refreshed_at = next(u.index for u in updates if u.refreshed)
+                # The old threshold was calibrated on the stale ensemble's
+                # score scale — the refresh restarts burn-in, and the
+                # stale scores of the batch remainder stay excluded.
+                assert detector.threshold is None
+        assert refreshed_at is not None
+        assert detector.n_refreshes >= 1
+        # Enough post-refresh traffic to recalibrate on the refreshed
+        # ensemble's scores.
+        detector.update_batch(sine_regime(40, start=520, shift=3.0))
+        assert detector.threshold is not None
+
+    def test_cooldown_limits_refresh_rate(self):
+        stale = make_stream_ensemble(epochs=1)
+        detector = StreamingDetector(
+            stale,
+            drift_detector=DDMDrift(min_samples=10),
+            refresher=EnsembleRefresher(min_history=80, cooldown=10 ** 6,
+                                        epochs_per_model=1),
+            history=256)
+        detector.warm_up(sine_regime(7, start=353))
+        detector.update_batch(sine_regime(60, start=360))
+        # Repeated regime changes, but the cooldown allows one refresh.
+        detector.update_batch(sine_regime(100, start=420, shift=3.0))
+        detector.update_batch(sine_regime(100, start=520, shift=-4.0))
+        assert detector.n_refreshes <= 1
