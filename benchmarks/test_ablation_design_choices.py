@@ -15,8 +15,12 @@ import numpy as np
 from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig
 from repro.datasets import load_dataset
 from repro.experiments.reporting import format_table
+import pytest
+
 from repro.metrics import (accuracy_report, evaluate_at_ratio,
                            point_adjusted_prf, pr_auc)
+
+pytestmark = pytest.mark.slow  # paper-artifact regeneration: full runs only
 
 
 def _config(dataset, budget, **overrides):

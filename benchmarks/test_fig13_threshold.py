@@ -8,6 +8,9 @@ the vicinity of the true outlier ratio, which is the figure's message:
 import numpy as np
 
 from repro.experiments import figure_13
+import pytest
+
+pytestmark = pytest.mark.slow  # paper-artifact regeneration: full runs only
 
 
 def test_figure13(benchmark, bench_budget, save_artifact):

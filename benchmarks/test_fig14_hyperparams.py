@@ -8,6 +8,9 @@ between the best and worst cases")."""
 import numpy as np
 
 from repro.experiments import figure_14
+import pytest
+
+pytestmark = pytest.mark.slow  # paper-artifact regeneration: full runs only
 
 
 def test_figure14(benchmark, bench_budget, save_artifact):

@@ -4,6 +4,9 @@ Shape checks mirror Figure 14: error-ordered candidates, median pick valid
 and not the PR-worst choice."""
 
 from repro.experiments import figure_15
+import pytest
+
+pytestmark = pytest.mark.slow  # paper-artifact regeneration: full runs only
 
 
 def test_figure15(benchmark, bench_budget, save_artifact):

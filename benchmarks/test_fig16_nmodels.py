@@ -16,6 +16,9 @@ import dataclasses
 import numpy as np
 
 from repro.experiments import figure_16
+import pytest
+
+pytestmark = pytest.mark.slow  # paper-artifact regeneration: full runs only
 
 
 def test_figure16(benchmark, bench_budget, save_artifact):

@@ -7,6 +7,9 @@ to the metric's level."""
 import numpy as np
 
 from repro.experiments import figure_17
+import pytest
+
+pytestmark = pytest.mark.slow  # paper-artifact regeneration: full runs only
 
 
 def test_figure17(benchmark, bench_budget, save_artifact):

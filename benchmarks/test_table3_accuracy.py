@@ -8,6 +8,9 @@ and ensembles do not fall far below their basic models.
 import numpy as np
 
 from repro.experiments import table_3
+import pytest
+
+pytestmark = pytest.mark.slow  # paper-artifact regeneration: full runs only
 
 
 def test_table3(benchmark, bench_budget, save_artifact):

@@ -6,6 +6,9 @@ interval-label recall cap discussed in Section 4.2.1.
 """
 
 from repro.experiments import table_4
+import pytest
+
+pytestmark = pytest.mark.slow  # paper-artifact regeneration: full runs only
 
 
 def test_table4(benchmark, bench_budget, save_artifact):

@@ -11,6 +11,9 @@ import dataclasses
 import numpy as np
 
 from repro.experiments import table_5
+import pytest
+
+pytestmark = pytest.mark.slow  # paper-artifact regeneration: full runs only
 
 
 def test_table5(benchmark, bench_budget, save_artifact):

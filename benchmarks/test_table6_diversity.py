@@ -5,6 +5,9 @@ produces a strictly more diverse ensemble (higher Eq. 10 DIV_F) than
 independent training, on both datasets."""
 
 from repro.experiments import table_6
+import pytest
+
+pytestmark = pytest.mark.slow  # paper-artifact regeneration: full runs only
 
 
 def test_table6(benchmark, bench_budget, save_artifact):

@@ -14,6 +14,9 @@ import dataclasses
 import numpy as np
 
 from repro.experiments import table_7
+import pytest
+
+pytestmark = pytest.mark.slow  # paper-artifact regeneration: full runs only
 
 DATASETS = ("ecg", "msl", "smap")
 

@@ -7,6 +7,9 @@ the basic models run in parallel making the gap tiny; sequentially it is
 bounded by the ensemble size."""
 
 from repro.experiments import table_8
+import pytest
+
+pytestmark = pytest.mark.slow  # paper-artifact regeneration: full runs only
 
 DATASETS = ("ecg", "smap")
 

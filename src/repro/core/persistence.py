@@ -13,6 +13,19 @@ plus a ``streaming.json`` holding the runtime state (window/history
 buffers, calibrator, drift detector, counters), so an online detector
 survives process restarts mid-stream.
 
+A whole :class:`repro.streaming.StreamFleet` checkpoints with
+:func:`save_fleet` / :func:`load_fleet`: each *distinct* ensemble is
+stored once — the common case of hundreds of streams sharing one fitted
+ensemble costs one copy of the weights, while streams whose drift-
+triggered refresh gave them a private replacement get their own
+directory — plus per-stream detector state in ``fleet.json``.  On load,
+streams that shared an ensemble share the reloaded instance again.  A
+detector saved with an async refresh build in flight resolves
+deterministically: the half-trained build is discarded, the refresh
+*request* is persisted as pending, and the resumed detector rebuilds the
+replacement from its restored corpus as soon as the refresher's gates
+allow.
+
 Round-trips are exact: a reloaded ensemble produces bit-identical scores,
 and a reloaded detector continues with an identical threshold.
 """
@@ -37,7 +50,14 @@ FORMAT_VERSION = 1
 
 STREAMING_STATE_NAME = "streaming.json"
 STREAMING_ENSEMBLE_DIR = "ensemble"
-STREAMING_FORMAT_VERSION = 1
+# v2: reservoir corpus states ('entries'/'partial' instead of 'rows') and
+# the async-refresh engine keys.  v1 states remain loadable (the new keys
+# all default); v1 readers reject v2 files cleanly at the version check.
+STREAMING_FORMAT_VERSION = 2
+STREAMING_COMPAT_VERSIONS = (1, 2)
+
+FLEET_STATE_NAME = "fleet.json"
+FLEET_FORMAT_VERSION = 1
 
 
 def save_ensemble(ensemble: CAEEnsemble, directory: str) -> None:
@@ -130,10 +150,80 @@ def load_streaming_detector(directory: str, refresher=None):
         raise FileNotFoundError(f"no streaming state at {state_path}")
     with open(state_path) as handle:
         payload = json.load(handle)
-    if payload.get("format_version") != STREAMING_FORMAT_VERSION:
+    if payload.get("format_version") not in STREAMING_COMPAT_VERSIONS:
         raise ValueError(f"unsupported streaming format "
-                         f"{payload.get('format_version')!r}")
+                         f"{payload.get('format_version')!r}; this reader "
+                         f"handles {STREAMING_COMPAT_VERSIONS}")
     ensemble = load_ensemble(os.path.join(directory,
                                           STREAMING_ENSEMBLE_DIR))
     return StreamingDetector.from_state(ensemble, payload["state"],
                                         refresher=refresher)
+
+
+def save_fleet(fleet, directory: str) -> None:
+    """Checkpoint a live :class:`repro.streaming.StreamFleet`.
+
+    Layout: ``fleet.json`` (per-stream detector state plus an ensemble
+    reference per stream) next to ``ensemble_<i>/`` directories — one per
+    *distinct* ensemble instance across the fleet, so the shared ensemble
+    of a large deployment is written exactly once.  Detectors with an
+    async refresh build in flight are saved with the build discarded and
+    the refresh request pending (see the module docstring).
+    """
+    os.makedirs(directory, exist_ok=True)
+    ensembles = []                  # distinct instances, identity-deduped
+    references = {}
+    for name in fleet.names:
+        ensemble = fleet.detector(name).ensemble
+        for index, seen in enumerate(ensembles):
+            if seen is ensemble:
+                references[name] = index
+                break
+        else:
+            references[name] = len(ensembles)
+            ensembles.append(ensemble)
+    for index, ensemble in enumerate(ensembles):
+        save_ensemble(ensemble, os.path.join(directory,
+                                             f"ensemble_{index}"))
+    state = fleet.state_dict()
+    payload = {
+        "format_version": FLEET_FORMAT_VERSION,
+        "n_ensembles": len(ensembles),
+        "streams": {name: {"ensemble": references[name],
+                           "state": state["streams"][name]}
+                    for name in fleet.names},
+    }
+    with open(os.path.join(directory, FLEET_STATE_NAME), "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_fleet(directory: str, refresher_factory=None,
+               detector_factory=None):
+    """Resume a fleet saved by :func:`save_fleet`.
+
+    ``refresher_factory`` builds one fresh refresher per resumed stream
+    (refresh policy is not persisted); each stream's saved cooldown clock
+    is restored onto its refresher.  ``detector_factory`` (optional)
+    serves stream names first seen after the resume; without it, unknown
+    names raise ``KeyError``.  Streams that shared an ensemble at save
+    time share one reloaded instance.
+    """
+    from ..streaming.multi import StreamFleet
+    state_path = os.path.join(directory, FLEET_STATE_NAME)
+    if not os.path.exists(state_path):
+        raise FileNotFoundError(f"no fleet state at {state_path}")
+    with open(state_path) as handle:
+        payload = json.load(handle)
+    if payload.get("format_version") != FLEET_FORMAT_VERSION:
+        raise ValueError(f"unsupported fleet format "
+                         f"{payload.get('format_version')!r}")
+    ensembles = [load_ensemble(os.path.join(directory, f"ensemble_{index}"))
+                 for index in range(int(payload["n_ensembles"]))]
+    streams = payload["streams"]
+    state = {"streams": {name: entry["state"]
+                         for name, entry in streams.items()}}
+    return StreamFleet.from_state(
+        state,
+        ensemble_for=lambda name: ensembles[int(streams[name]["ensemble"])],
+        refresher_factory=refresher_factory,
+        detector_factory=detector_factory)

@@ -107,6 +107,14 @@ class StreamReport:
     operator's time-to-page.  Alerts on unlabelled observations count as
     false alarms.  Drift events and refreshes are carried as counters so
     a run's model-maintenance activity is reported next to its accuracy.
+
+    When refresh reports are supplied, two refresh-latency views are
+    carried alongside: ``refresh_seconds`` (training cost per refresh —
+    serving stall in inline mode, background cost in async mode) and
+    ``refresh_lags`` (arrivals between each drift trigger and its swap —
+    the staleness window during which the old ensemble kept serving:
+    gate-deferral for inline refreshes, deferral plus build time for
+    async ones).
     """
     n_observations: int
     n_events: int
@@ -116,6 +124,9 @@ class StreamReport:
     n_drift_events: int
     n_refreshes: int
     latencies: Tuple[int, ...]
+    n_async_refreshes: int = 0
+    refresh_seconds: Tuple[float, ...] = ()
+    refresh_lags: Tuple[int, ...] = ()
 
     @property
     def event_recall(self) -> float:
@@ -128,19 +139,35 @@ class StreamReport:
         return float(np.mean(self.latencies)) if self.latencies \
             else float("nan")
 
+    @property
+    def total_refresh_seconds(self) -> float:
+        """Total retraining time across refreshes."""
+        return float(sum(self.refresh_seconds))
+
+    @property
+    def mean_refresh_lag(self) -> float:
+        """Mean trigger-to-swap distance in observations (NaN without
+        refresh reports)."""
+        return float(np.mean(self.refresh_lags)) if self.refresh_lags \
+            else float("nan")
+
 
 def stream_event_report(labels: np.ndarray, alert_indices,
-                        drift_indices=(), n_refreshes: int = 0
-                        ) -> StreamReport:
+                        drift_indices=(), n_refreshes: int = 0,
+                        refresh_reports=()) -> StreamReport:
     """Latency-aware event evaluation of a streaming run.
 
     Parameters
     ----------
-    labels:        per-observation ground truth over the streamed span.
-    alert_indices: stream positions the detector alerted on (e.g.
-                   ``StreamingDetector.alerts``).
-    drift_indices: stream positions of emitted drift events.
-    n_refreshes:   completed model refreshes during the run.
+    labels:          per-observation ground truth over the streamed span.
+    alert_indices:   stream positions the detector alerted on (e.g.
+                     ``StreamingDetector.alerts``).
+    drift_indices:   stream positions of emitted drift events.
+    n_refreshes:     completed model refreshes during the run (ignored
+                     when ``refresh_reports`` is given).
+    refresh_reports: the run's :class:`~repro.streaming.RefreshReport`
+                     sequence (e.g. ``StreamingDetector.refresh_reports``)
+                     — enables the refresh-latency counters.
     """
     labels = np.asarray(labels).astype(np.int64).reshape(-1)
     alerts = np.asarray(sorted(int(i) for i in alert_indices),
@@ -155,6 +182,9 @@ def stream_event_report(labels: np.ndarray, alert_indices,
         if inside.size:
             latencies.append(int(inside[0] - start))
     false_alarms = int((labels[alerts] == 0).sum()) if alerts.size else 0
+    reports = tuple(refresh_reports)
+    if reports:
+        n_refreshes = len(reports)
     return StreamReport(n_observations=int(labels.size),
                         n_events=len(segments),
                         n_detected=len(latencies),
@@ -162,4 +192,11 @@ def stream_event_report(labels: np.ndarray, alert_indices,
                         n_false_alarms=false_alarms,
                         n_drift_events=len(tuple(drift_indices)),
                         n_refreshes=int(n_refreshes),
-                        latencies=tuple(latencies))
+                        latencies=tuple(latencies),
+                        n_async_refreshes=sum(
+                            1 for r in reports
+                            if getattr(r, "mode", "inline") == "async"),
+                        refresh_seconds=tuple(float(r.train_seconds)
+                                              for r in reports),
+                        refresh_lags=tuple(int(r.swap_lag)
+                                           for r in reports))

@@ -21,30 +21,37 @@ All gradient formulas are verified against numerical differentiation in
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread (as in torch): a serving thread scoring inside
+# no_grad() must not disable graph construction for a background thread
+# that is training a replacement model at the same time.
+_GRAD_MODE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph construction (like torch.no_grad)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables graph construction (like torch.no_grad).
+
+    Thread-local: only the entering thread stops recording gradients.
+    """
+    previous = is_grad_enabled()
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_MODE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradients."""
-    return _GRAD_ENABLED
+    """Return whether operations on this thread currently record
+    gradients."""
+    return getattr(_GRAD_MODE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -105,7 +112,7 @@ class Tensor:
         calling :meth:`_accumulate` on each parent that requires grad.
         """
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward

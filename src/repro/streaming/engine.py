@@ -7,9 +7,7 @@ score stream feeds an online threshold calibrator
 (:mod:`repro.streaming.calibration`) and optional concept-drift detectors
 (:mod:`repro.streaming.drift`).  When drift is confirmed and a refresher
 is attached (:mod:`repro.streaming.refresh`), the ensemble is retrained on
-a recent-history buffer, warm-started from the old models' parameters.
-The old ensemble keeps serving while the replacement is built and is
-swapped atomically once ready, so scoring never pauses.
+a recent-history corpus, warm-started from the old models' parameters.
 
 Hot path
 --------
@@ -19,21 +17,41 @@ amortising the per-call overhead (Python dispatch, embedding setup, conv
 im2col) over the whole batch.  Both paths produce identical scores —
 micro-batching is purely a throughput optimisation (see
 ``benchmarks/test_streaming_throughput.py``).
+
+Refresh modes
+-------------
+``refresh_mode="inline"`` retrains on the ingesting thread: the arrival
+that passes the refresher's gates pays the full training time before its
+``StreamUpdate`` returns.  ``refresh_mode="async"`` hands the build to a
+:class:`~repro.streaming.worker.RefreshWorker`: the old ensemble keeps
+serving (scoring never blocks on the build) and the replacement is
+swapped in **atomically at the next ``update()``/``update_batch()``
+boundary** after the build finishes — the whole batch is scored by one
+ensemble, never a mixture.  ``pending_refresh`` exposes the in-flight
+build's :class:`~repro.streaming.worker.RefreshHandle`; drift re-firing
+mid-build follows the ``refresh_refire`` drop/queue policy (see
+:mod:`repro.streaming.worker`).  ``poll_refresh()`` is an explicit
+boundary for idle streams, and ``wait_for_refresh()`` blocks until the
+build lands (for tests and draining).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..core.ensemble import CAEEnsemble
 from ..datasets.windows import sliding_windows
-from .buffer import HistoryBuffer, SlidingWindow
+from .buffer import HistoryBuffer, SlidingWindow, history_buffer_from_state
 from .calibration import calibrator_from_state
 from .drift import DriftEvent, drift_detector_from_state
 from .refresh import RefreshReport
+from .worker import REFIRE_POLICIES, RefreshWorker
+
+REFRESH_MODES = ("inline", "async")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,9 +61,11 @@ class StreamUpdate:
     ``score`` is None while the very first window is still filling.
     ``threshold`` is the alert level the score was compared against (None
     before calibration finished).  ``refreshed`` marks the arrival at
-    which a model refresh completed — usually the drift event's own
-    arrival, later if the refresher's history/cooldown gates deferred it;
-    scores from the next arrival on come from the refreshed ensemble.
+    which a model refresh landed: in inline mode the arrival whose update
+    completed the retrain (scores from the *next* arrival on come from
+    the refreshed ensemble); in async mode the first arrival after the
+    boundary swap (whose own score already comes from the refreshed
+    ensemble).
     """
     index: int
     score: Optional[float]
@@ -68,33 +88,139 @@ class StreamingDetector:
     drift_detector:  drift detector over the score stream; without one, no
                      :class:`DriftEvent` is ever emitted.
     refresher:       drift-triggered refresh policy; only consulted when a
-                     ``"drift"``-kind event fires.
-    history:         capacity of the recent-history ring used as the
-                     refresh retraining corpus.
+                     ``"drift"``-kind event fires.  Its corpus settings
+                     pick the history buffer implementation.
+    history:         capacity (rows) of the recent-history corpus used for
+                     refresh retraining.
+    refresh_mode:    ``"inline"`` (retrain on the ingesting thread) or
+                     ``"async"`` (background build, boundary swap).
+    refresh_refire:  ``"drop"`` or ``"queue"`` — what a confirmed drift
+                     does while an async build is already in flight.
+    history_buffer:  a pre-built refresh-corpus buffer to adopt instead
+                     of constructing one from ``history`` and the
+                     refresher's corpus settings (checkpoint resume
+                     passes the deserialized buffer here; ``history`` is
+                     then ignored).
     """
 
     def __init__(self, ensemble: CAEEnsemble, calibrator=None,
-                 drift_detector=None, refresher=None, history: int = 2048):
+                 drift_detector=None, refresher=None, history: int = 2048,
+                 refresh_mode: str = "inline",
+                 refresh_refire: str = "queue", history_buffer=None):
         if not ensemble.models:
             raise ValueError("StreamingDetector needs a fitted ensemble")
+        if refresh_mode not in REFRESH_MODES:
+            raise ValueError(f"refresh_mode must be one of {REFRESH_MODES}, "
+                             f"got {refresh_mode!r}")
+        if refresh_refire not in REFIRE_POLICIES:
+            raise ValueError(f"refresh_refire must be one of "
+                             f"{REFIRE_POLICIES}, got {refresh_refire!r}")
         self.ensemble = ensemble
         self.calibrator = calibrator
         self.drift_detector = drift_detector
-        self.refresher = refresher
+        self.refresh_mode = refresh_mode
+        self.refresh_refire = refresh_refire
+        self._last_refresh_index: Optional[int] = None
+        self.refresher = refresher          # property: syncs cooldown clock
         window = ensemble.cae_config.window
         dims = ensemble.cae_config.input_dim
-        if history < window:
-            raise ValueError(f"history ({history}) must hold at least one "
-                             f"window ({window})")
         self._window = SlidingWindow(window, dims)
-        self._history = HistoryBuffer(history, dims)
+        if history_buffer is not None:
+            if history_buffer.dims != dims:
+                raise ValueError(f"history buffer carries "
+                                 f"{history_buffer.dims} dims, ensemble "
+                                 f"expects {dims}")
+            if history_buffer.capacity < window:
+                raise ValueError(f"history buffer capacity "
+                                 f"({history_buffer.capacity}) must hold "
+                                 f"at least one window ({window})")
+            self._history = history_buffer
+            self._warn_corpus_mismatch()
+        else:
+            if history < window:
+                raise ValueError(f"history ({history}) must hold at least "
+                                 f"one window ({window})")
+            make_corpus = getattr(refresher, "make_history_buffer", None)
+            self._history = make_corpus(history, dims, window) \
+                if make_corpus is not None else HistoryBuffer(history, dims)
         self._index = 0
         self._pending_refresh = False
+        self._pending_trigger_index: Optional[int] = None
+        self._worker: Optional[RefreshWorker] = None
+        self._announce_refresh = False
         self.alerts: List[int] = []
         self.drift_events: List[DriftEvent] = []
         self.refresh_reports: List[RefreshReport] = []
 
     # ------------------------------------------------------------------
+    @property
+    def refresher(self):
+        return self._refresher
+
+    @refresher.setter
+    def refresher(self, refresher) -> None:
+        """Attach a refresh policy; the detector's persisted cooldown
+        clock is pushed into it so a refresher attached after a resume
+        (or after ``load_streaming_detector(..., refresher=None)``) cannot
+        refresh sooner than the uninterrupted detector would have.
+        A build the *old* refresher has in flight is abandoned — its
+        policy object is obsolete — so at most one *adoptable* build
+        exists at a time (the abandoned daemon thread trains to
+        completion but its result is dropped, briefly overlapping a
+        successor build's CPU; swap policies when quiet to avoid paying
+        that); the abandoned build's *request* is restored as pending
+        (same contract as checkpointing mid-build), so the new refresher
+        re-runs it once its gates allow — even when detaching with
+        ``refresher=None``, where the request waits on the detector for
+        a refresher attached later."""
+        self._refresher = refresher
+        worker = getattr(self, "_worker", None)
+        if worker is not None and worker.refresher is not refresher:
+            abandoned = worker.discard()
+            if abandoned is not None:
+                self._restore_request(abandoned.trigger_index)
+        self._sync_refresher_clock()
+        self._warn_corpus_mismatch()
+
+    def _restore_request(self, trigger_index: int) -> None:
+        """Re-register a refresh request whose build will never deliver
+        (abandoned, failed, or never started); the earliest unresolved
+        trigger is kept."""
+        self._pending_refresh = True
+        if self._pending_trigger_index is None:
+            self._pending_trigger_index = trigger_index
+
+    def _sync_refresher_clock(self) -> None:
+        """Two-way sync to the later cooldown clock: the detector
+        persists it (a refresher attached already mid-cooldown must
+        survive checkpoints) and the refresher gates on it."""
+        refresher = self._refresher
+        if refresher is None:
+            return
+        clock = getattr(refresher, "last_refresh_index", None)
+        mine = self._last_refresh_index
+        if mine is not None and (clock is None or clock < mine):
+            refresher.last_refresh_index = mine
+        elif clock is not None and (mine is None or mine < clock):
+            self._last_refresh_index = clock
+
+    def _warn_corpus_mismatch(self) -> None:
+        """The corpus buffer is stream state: once the detector owns one,
+        a refresher's *explicit* corpus setting cannot change it — warn
+        so the mismatch is not silent (applies to checkpoint resume and
+        to mid-run refresher swaps alike)."""
+        refresher = self._refresher
+        history = getattr(self, "_history", None)
+        wanted = getattr(refresher, "corpus", None) \
+            if refresher is not None else None
+        if wanted is not None and history is not None \
+                and wanted != history.kind:
+            warnings.warn(
+                f"detector already carries a {history.kind!r} refresh "
+                f"corpus; the attached refresher's corpus={wanted!r} is "
+                f"ignored (the corpus is stream state) — build a fresh "
+                f"detector to change corpus kinds", stacklevel=3)
+
     @property
     def n_observations(self) -> int:
         """Stream arrivals ingested via update/update_batch."""
@@ -115,6 +241,16 @@ class StreamingDetector:
     @property
     def history_length(self) -> int:
         return len(self._history)
+
+    @property
+    def refresh_worker(self) -> Optional[RefreshWorker]:
+        """The async build worker (created on first async submit)."""
+        return self._worker
+
+    @property
+    def pending_refresh(self):
+        """The in-flight async build's handle, if one exists."""
+        return self._worker.handle if self._worker is not None else None
 
     # ------------------------------------------------------------------
     def warm_up(self, series: np.ndarray) -> None:
@@ -145,12 +281,14 @@ class StreamingDetector:
         All B windows are scored with one forward pass per basic model —
         the throughput path.  Calibration, alerting and drift detection
         then run per arrival in order, so results are identical to B
-        scalar :meth:`update` calls.  If a mid-batch drift event completes
-        a refresh, the remaining scores of this batch still come from the
-        pre-refresh ensemble (it was serving when they were computed) and
-        are therefore *excluded* from the freshly reset calibration and
-        drift state — they are on the old ensemble's score scale; the
-        refreshed ensemble takes over from the next call.
+        scalar :meth:`update` calls.  A finished async build is swapped in
+        at the top of the call, before any scoring, so the whole batch is
+        scored by a single ensemble.  If a mid-batch drift event completes
+        an *inline* refresh, the remaining scores of this batch still come
+        from the pre-refresh ensemble (it was serving when they were
+        computed) and are therefore *excluded* from the freshly reset
+        calibration and drift state — they are on the old ensemble's score
+        scale; the refreshed ensemble takes over from the next call.
         """
         observations = np.asarray(observations, dtype=np.float64)
         if observations.ndim != 2 or \
@@ -160,6 +298,9 @@ class StreamingDetector:
         n = observations.shape[0]
         if n == 0:
             return []
+        # Boundary: adopt a finished background build before scoring, so
+        # every score of this batch comes from one ensemble.
+        self.poll_refresh()
         window = self._window.window
         tail = np.asarray(self._window.tail(min(len(self._window),
                                                 window - 1)))
@@ -181,17 +322,24 @@ class StreamingDetector:
             index = self._index
             self._index += 1
             if scores is None or i < first_scoreable:
-                updates.append(StreamUpdate(index=index, score=None,
-                                            threshold=self.threshold,
-                                            alert=False))
-                continue
-            update = self._ingest_score(
-                index, float(scores[i - first_scoreable]),
-                feed_state=feed_state)
-            if update.refreshed:
-                # The rest of this batch was scored by the replaced
-                # ensemble — keep it out of the fresh calibration state.
-                feed_state = False
+                update = StreamUpdate(index=index, score=None,
+                                      threshold=self.threshold,
+                                      alert=False)
+            else:
+                update = self._ingest_score(
+                    index, float(scores[i - first_scoreable]),
+                    feed_state=feed_state)
+                if update.refreshed:
+                    # The rest of this batch was scored by the replaced
+                    # ensemble — keep it out of the fresh calibration
+                    # state.
+                    feed_state = False
+            if self._announce_refresh:
+                # A boundary swap landed just before this batch: mark its
+                # first arrival so callers see where the refreshed
+                # ensemble took over.
+                update = dataclasses.replace(update, refreshed=True)
+                self._announce_refresh = False
             updates.append(update)
         return updates
 
@@ -214,44 +362,160 @@ class StreamingDetector:
             event = self.drift_detector.update(score, index)
         if event is not None:
             self.drift_events.append(event)
-            if event.kind == "drift" and self.refresher is not None:
-                # Confirmed drift demands a refresh; if the refresher's
-                # gates (history / cooldown) are closed right now, keep
-                # the request pending rather than dropping it.
-                self._pending_refresh = True
+            if event.kind == "drift" and self._refresher is not None:
+                self._request_refresh(event.index)
         # Beyond the refresher's own gates, retraining needs at least one
         # full training window of history.
-        if self._pending_refresh and self.refresher is not None and \
+        if self._pending_refresh and self._refresher is not None and \
                 len(self._history) > self.ensemble.cae_config.window and \
-                self.refresher.ready(len(self._history), index):
-            refreshed = self._refresh(index)
-            self._pending_refresh = False
+                self._refresher.ready(len(self._history), index):
+            refreshed = self._start_refresh(index)
         return StreamUpdate(index=index, score=score, threshold=threshold,
                             alert=alert, drift=event, refreshed=refreshed)
 
-    def _refresh(self, index: int) -> bool:
-        """Retrain on recent history; swap in the replacement once ready."""
-        replacement, report = self.refresher.refresh(
-            self.ensemble, self._history.to_array(), index)
-        # Atomic swap: the old ensemble served every score up to here.
+    def _request_refresh(self, trigger_index: int) -> None:
+        """Register a confirmed-drift refresh request.
+
+        If the refresher's gates (history / cooldown) are closed right
+        now, the request stays pending rather than being dropped.  A
+        re-fire while an async build is in flight follows the drop/queue
+        policy: ``drop`` ignores it, ``queue`` keeps it pending so a
+        follow-up build runs on post-swap history once the current one
+        has landed.
+        """
+        handle = self._worker.handle if self._worker is not None else None
+        # Only a build that can still deliver justifies dropping the new
+        # trigger; a FAILED build answers nothing, so the request must
+        # register even under the drop policy.  (The worker owns the
+        # refire policy; the engine's refresh_refire only seeds it.)
+        in_flight = handle is not None and handle.status in ("building",
+                                                             "ready")
+        if in_flight and self._worker.on_refire == "drop":
+            return
+        self._restore_request(trigger_index)
+
+    def _start_refresh(self, index: int) -> bool:
+        """Run (inline) or launch (async) the pending refresh.
+
+        The seed generation is the detector's *committed* refresh count —
+        not the refresher's, whose report list starts empty again when a
+        fresh policy object is attached after a resume; using the
+        detector's count keeps a resumed run's replacement weights
+        bit-identical to the uninterrupted run's.
+        """
+        trigger = self._pending_trigger_index
+        trigger = index if trigger is None else trigger
+        generation = len(self.refresh_reports)
+        if self.refresh_mode == "inline":
+            replacement, report = self._refresher.build(
+                self.ensemble, self._history.to_array(), index,
+                generation=generation, trigger_index=trigger,
+                mode="inline")
+            self._pending_refresh = False
+            self._pending_trigger_index = None
+            self._commit_refresh(replacement, report)
+            return True
+        if self._worker is None or self._worker.refresher \
+                is not self._refresher:
+            self._worker = RefreshWorker(self._refresher,
+                                         on_refire=self.refresh_refire)
+        if self._worker.busy:
+            # queue policy: the pending trigger waits for the in-flight
+            # build to swap before a follow-up build may start.
+            return False
+        self._worker.submit(self.ensemble, self._history.to_array(),
+                            trigger_index=trigger, generation=generation)
+        self._pending_refresh = False
+        self._pending_trigger_index = None
+        return False
+
+    def _commit_refresh(self, replacement: CAEEnsemble,
+                        report: RefreshReport) -> None:
+        """Atomic swap: the old ensemble served every score up to here."""
         self.ensemble = replacement
+        if self._refresher is not None:
+            self._refresher.commit(report)
         self.refresh_reports.append(report)
+        self._last_refresh_index = report.index
         # The refreshed ensemble rescales scores (new scaler, new weights):
         # the old threshold and drift statistics are stale.
         if self.calibrator is not None:
             self.calibrator.reset()
         if self.drift_detector is not None:
             self.drift_detector.reset()
+
+    def poll_refresh(self) -> bool:
+        """Adopt a finished async build, if one is waiting (an explicit
+        update boundary for idle streams).
+
+        Returns True when a replacement was swapped in; the next emitted
+        :class:`StreamUpdate` carries ``refreshed=True``.  A failed build
+        re-raises its error here, on the serving thread.
+        """
+        if self._worker is None:
+            return False
+        handle = self._worker.take()
+        if handle is None:
+            return False
+        if handle.status == "failed":
+            # The drift is still unanswered: restore the request (the
+            # same resolution a checkpoint of the failed build gets), so
+            # an operator who catches this error keeps a detector that
+            # will retry, then surface the failure on the serving thread.
+            self._restore_request(handle.trigger_index)
+            raise RuntimeError(
+                f"async ensemble refresh (triggered at arrival "
+                f"{handle.trigger_index}) failed") from handle.error
+        if not handle._resolve("swapped"):
+            return False
+        report = dataclasses.replace(handle.report, index=self._index)
+        self._commit_refresh(handle.replacement, report)
+        self._announce_refresh = True
         return True
+
+    def wait_for_refresh(self, timeout: Optional[float] = None) -> bool:
+        """Block until the in-flight build finishes, then swap it in.
+
+        Returns True if a swap happened.  Scoring callers never need
+        this — it exists for drains, shutdowns and deterministic tests.
+        """
+        handle = self.pending_refresh
+        if handle is None:
+            return False
+        if not handle.wait(timeout):
+            return False
+        return self.poll_refresh()
 
     # ------------------------------------------------------------------
     # Checkpointing (see repro.core.persistence)
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, object]:
-        """JSON-serialisable runtime state (excluding ensemble weights)."""
+        """JSON-serialisable runtime state (excluding ensemble weights).
+
+        An in-flight async build cannot be checkpointed (its weights are
+        half-trained); it is recorded as a still-pending refresh trigger,
+        so a resumed detector deterministically rebuilds it from its own
+        (restored) corpus when the gates next allow — the build is
+        *discarded*, the *request* survives.  A build that *failed* but
+        whose error has not yet been raised at a boundary is treated the
+        same way: the resumed detector retries the request (the exception
+        object itself cannot be persisted; a live detector would instead
+        raise it at its next boundary).
+        """
+        handle = self.pending_refresh
+        in_flight = handle is not None and handle.status in ("building",
+                                                             "ready",
+                                                             "failed")
+        pending_trigger = self._pending_trigger_index
+        if in_flight and pending_trigger is None:
+            pending_trigger = handle.trigger_index
         return {
             "index": self._index,
-            "pending_refresh": self._pending_refresh,
+            "pending_refresh": bool(self._pending_refresh or in_flight),
+            "pending_trigger_index": pending_trigger,
+            "announce_refresh": bool(self._announce_refresh),
+            "refresh_mode": self.refresh_mode,
+            "refresh_refire": self.refresh_refire,
             "history_capacity": self._history.capacity,
             "window": self._window.state_dict(),
             "history": self._history.state_dict(),
@@ -260,10 +524,7 @@ class StreamingDetector:
                              for event in self.drift_events],
             "refresh_reports": [dataclasses.asdict(report)
                                 for report in self.refresh_reports],
-            "last_refresh_index": self.refresher.last_refresh_index
-            if self.refresher is not None
-            else (self.refresh_reports[-1].index
-                  if self.refresh_reports else None),
+            "last_refresh_index": self._last_refresh_index,
             "calibrator": self.calibrator.state_dict()
             if self.calibrator is not None else None,
             "drift_detector": self.drift_detector.state_dict()
@@ -276,7 +537,13 @@ class StreamingDetector:
         """Rebuild a live detector from :meth:`state_dict`.
 
         The refresher holds policy, not stream state, so it is passed in
-        fresh rather than persisted.
+        fresh rather than persisted; the saved cooldown clock is restored
+        onto it (and kept on the detector even when ``refresher`` is None,
+        so attaching one later still honours the clock).  The refresh
+        *corpus*, however, is stream state: the saved buffer (kind and
+        contents) always wins over the refresher's ``corpus`` setting —
+        a mismatch warns, because silently rebuilding the corpus would
+        discard the retained history.
         """
         calibrator_state = state.get("calibrator")
         drift_state = state.get("drift_detector")
@@ -287,12 +554,20 @@ class StreamingDetector:
             drift_detector=drift_detector_from_state(drift_state)
             if drift_state is not None else None,
             refresher=refresher,
-            history=int(state["history_capacity"]))
+            refresh_mode=str(state.get("refresh_mode", "inline")),
+            refresh_refire=str(state.get("refresh_refire", "queue")),
+            history_buffer=history_buffer_from_state(state["history"]))
         detector._window.load_state_dict(state["window"])
-        detector._history.load_state_dict(state["history"])
         detector._index = int(state["index"])
         detector._pending_refresh = bool(state.get("pending_refresh",
                                                    False))
+        trigger = state.get("pending_trigger_index")
+        detector._pending_trigger_index = None if trigger is None \
+            else int(trigger)
+        # A checkpoint taken between a boundary swap and the next update
+        # still owes callers the refreshed=True marker.
+        detector._announce_refresh = bool(state.get("announce_refresh",
+                                                    False))
         detector.alerts = [int(i) for i in state["alerts"]]
         detector.drift_events = [DriftEvent(**event)
                                  for event in state["drift_events"]]
@@ -300,8 +575,10 @@ class StreamingDetector:
                                     for report in
                                     state.get("refresh_reports", [])]
         last_refresh = state.get("last_refresh_index")
-        if refresher is not None and last_refresh is not None:
-            # Restore the cooldown clock so a resumed detector cannot
-            # refresh sooner than the live one would have.
-            refresher.last_refresh_index = int(last_refresh)
+        detector._last_refresh_index = None if last_refresh is None \
+            else int(last_refresh)
+        # The clock above was not yet known when the constructor attached
+        # the refresher; sync it now (corpus mismatch, if any, already
+        # warned once during construction).
+        detector._sync_refresher_clock()
         return detector

@@ -91,6 +91,49 @@ class StreamFleet:
         self.detector(name).warm_up(series)
 
     # ------------------------------------------------------------------
+    # Checkpointing (see repro.core.persistence: save_fleet / load_fleet)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Per-stream runtime state (excluding ensemble weights).
+
+        Ensembles are weights, not stream state — persist them separately
+        (:func:`repro.core.persistence.save_fleet` stores each distinct
+        ensemble once, however many streams share it).
+        """
+        return {"streams": {name: self._detectors[name].state_dict()
+                            for name in self.names}}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object],
+                   ensemble_for: Callable[[str], CAEEnsemble],
+                   refresher_factory: Optional[Callable[[], object]] = None,
+                   detector_factory: Optional[
+                       Callable[[str], StreamingDetector]] = None
+                   ) -> "StreamFleet":
+        """Rebuild a fleet from :meth:`state_dict`.
+
+        Parameters
+        ----------
+        ensemble_for:      callable mapping a stream name to the fitted
+                           ensemble serving it (streams that shared an
+                           instance should receive the *same* instance to
+                           keep sharing memory).
+        refresher_factory: builds one fresh refresher per resumed stream
+                           (policy is not persisted, like
+                           :meth:`StreamingDetector.from_state`).
+        detector_factory:  factory for streams first seen *after* the
+                           resume; without one, unknown names raise.
+        """
+        fleet = cls(detector_factory if detector_factory is not None
+                    else _reject_new_streams)
+        for name, detector_state in state["streams"].items():
+            fleet._detectors[name] = StreamingDetector.from_state(
+                ensemble_for(name), detector_state,
+                refresher=refresher_factory()
+                if refresher_factory is not None else None)
+        return fleet
+
+    # ------------------------------------------------------------------
     def stats(self, names: Optional[Iterable[str]] = None
               ) -> List[StreamStats]:
         """Counters per stream, sorted by name."""
@@ -115,17 +158,26 @@ class StreamFleet:
         return sum(d.n_alerts for d in self._detectors.values())
 
 
+def _reject_new_streams(name: str) -> StreamingDetector:
+    """Default factory of a resumed fleet: only saved streams exist."""
+    raise KeyError(f"stream {name!r} is not part of the restored fleet; "
+                   f"pass detector_factory to allow new streams")
+
+
 def shared_fleet(ensemble: CAEEnsemble,
                  calibrator_factory: Optional[Callable[[], object]] = None,
                  drift_factory: Optional[Callable[[], object]] = None,
                  refresher_factory: Optional[Callable[[], object]] = None,
-                 history: int = 2048) -> StreamFleet:
+                 history: int = 2048, refresh_mode: str = "inline",
+                 refresh_refire: str = "queue") -> StreamFleet:
     """A fleet whose streams all score against one shared ensemble.
 
     Each stream still gets its own calibrator / drift detector /
     refresher instance (stream state is never shared).  Note that a
     per-stream refresh replaces only that stream's serving ensemble —
-    other streams keep the shared original.
+    other streams keep the shared original.  ``refresh_mode="async"``
+    keeps every stream's scoring latency flat while its replacement
+    trains in the background (each detector owns its worker thread).
     """
     def factory(name: str) -> StreamingDetector:
         return StreamingDetector(
@@ -133,5 +185,6 @@ def shared_fleet(ensemble: CAEEnsemble,
             calibrator=calibrator_factory() if calibrator_factory else None,
             drift_detector=drift_factory() if drift_factory else None,
             refresher=refresher_factory() if refresher_factory else None,
-            history=history)
+            history=history, refresh_mode=refresh_mode,
+            refresh_refire=refresh_refire)
     return StreamFleet(factory)

@@ -1,0 +1,234 @@
+"""Background refresh builds: training off the serving path.
+
+Inline refresh retrains on the ingesting thread, so scoring latency
+spikes by the full training time exactly when drift makes fresh scores
+matter most.  :class:`RefreshWorker` resolves that serving-vs-adaptation
+tension the way DDD-style drift ensembles do — train the replacement
+learner in the background while the old model keeps serving:
+
+* the engine snapshots the retraining corpus and :meth:`submit`\\ s a
+  build; a daemon thread runs :meth:`EnsembleRefresher.build` (pure — no
+  refresher state moves until commit);
+* scoring continues against the old ensemble and **never** joins the
+  thread; the engine polls the returned :class:`RefreshHandle` at
+  ``update()``/``update_batch()`` boundaries and swaps atomically once
+  the build is ready;
+* at most one build is in flight per worker.  When drift re-fires
+  mid-build the engine applies the worker's ``on_refire`` policy:
+  ``"drop"`` discards the new trigger (the in-flight build already
+  answers the regime change), ``"queue"`` keeps it pending so a follow-up
+  build starts — on post-swap history — once the current one has swapped.
+
+The handle's status moves ``building -> ready | failed`` on the worker
+thread (guarded by a lock) and ``ready -> swapped`` / ``* -> discarded``
+on the engine thread, so every build resolves to exactly one terminal
+state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+import numpy as np
+
+REFIRE_POLICIES = ("drop", "queue")
+
+
+class RefreshHandle:
+    """One submitted background build and its lifecycle.
+
+    Attributes
+    ----------
+    trigger_index: drift arrival that requested the build.
+    generation:    refresher generation captured at submit time (pins the
+                   replacement's seed regardless of completion order).
+    status:        ``"building"`` / ``"ready"`` / ``"failed"`` /
+                   ``"swapped"`` / ``"discarded"``.
+    replacement:   the built ensemble (once ready).
+    report:        the build's :class:`RefreshReport` (once ready).
+    error:         the exception that failed the build (if any).
+    """
+
+    def __init__(self, trigger_index: int, generation: int):
+        self.trigger_index = int(trigger_index)
+        self.generation = int(generation)
+        self.status = "building"
+        self.replacement = None
+        self.report = None
+        self.error: Optional[BaseException] = None
+        self.done = threading.Event()
+        self._lock = threading.Lock()
+
+    @property
+    def ready(self) -> bool:
+        return self.status == "ready"
+
+    @property
+    def in_flight(self) -> bool:
+        return self.status == "building"
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the build finishes (True) or ``timeout`` elapses.
+
+        Only waits for the *build*; the swap still happens on the engine
+        thread at the next update boundary (or ``poll_refresh()``).
+        """
+        return self.done.wait(timeout)
+
+    def _finish(self, status: str, replacement=None, report=None,
+                error: Optional[BaseException] = None) -> None:
+        """Worker-side terminal transition; loses to a prior discard.
+
+        Does not signal ``done`` — the worker does, after the done-hook
+        has run, so observers woken by ``wait()`` see hooks completed.
+        """
+        with self._lock:
+            if self.status == "building":
+                self.status = status
+                self.replacement = replacement
+                self.report = report
+                self.error = error
+
+    def _resolve(self, status: str) -> bool:
+        """Engine-side transition out of ``ready`` (swap) or any live
+        state (discard); returns False if already terminal."""
+        with self._lock:
+            if status == "swapped" and self.status != "ready":
+                return False
+            if self.status in ("swapped", "discarded"):
+                return False
+            self.status = status
+            if status == "discarded":
+                # Free the half/fully built ensemble promptly.
+                self.replacement = None
+        return True
+
+
+class RefreshWorker:
+    """Runs refresh builds on a background thread, one at a time.
+
+    Parameters
+    ----------
+    refresher: the policy object whose ``build`` runs off-thread — an
+               :class:`~repro.streaming.refresh.EnsembleRefresher` or any
+               duck-typed stand-in (tests use slow-trainer stubs).
+    on_refire: what the engine does when drift fires while a build is in
+               flight: ``"drop"`` or ``"queue"`` (see module docstring).
+
+    ``on_build_start`` / ``on_build_done`` are optional callbacks invoked
+    *on the worker thread* with the handle — event hooks for deterministic
+    concurrency tests and production telemetry.
+    """
+
+    def __init__(self, refresher, on_refire: str = "queue"):
+        if on_refire not in REFIRE_POLICIES:
+            raise ValueError(f"on_refire must be one of {REFIRE_POLICIES}, "
+                             f"got {on_refire!r}")
+        self.refresher = refresher
+        self.on_refire = on_refire
+        self.on_build_start: Optional[Callable] = None
+        self.on_build_done: Optional[Callable] = None
+        self._handle: Optional[RefreshHandle] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def handle(self) -> Optional[RefreshHandle]:
+        """The active (building or ready-but-unswapped) handle, if any."""
+        handle = self._handle
+        if handle is not None and handle.status in ("building", "ready",
+                                                    "failed"):
+            return handle
+        return None
+
+    @property
+    def busy(self) -> bool:
+        """Whether a build is in flight or awaiting its boundary swap."""
+        return self.handle is not None
+
+    def submit(self, ensemble, history: np.ndarray, trigger_index: int,
+               generation: Optional[int] = None) -> RefreshHandle:
+        """Start a background build of a replacement for ``ensemble``.
+
+        ``history`` must be a snapshot the caller will not mutate (the
+        engine passes the corpus buffer's ``to_array()`` copy); the
+        ensemble is only read.  ``generation`` pins the build's seed
+        offset (the engine passes its committed-refresh count, which —
+        unlike the refresher's own — survives checkpoint resume).
+        Raises if a build is already in flight.
+        """
+        if self.busy:
+            raise RuntimeError("a refresh build is already in flight; "
+                               "poll or discard it before submitting")
+        handle = RefreshHandle(trigger_index,
+                               generation=self.refresher.n_refreshes
+                               if generation is None else generation)
+        history = np.asarray(history, dtype=np.float64)
+        self._handle = handle
+        self._thread = threading.Thread(
+            target=self._run, args=(handle, ensemble, history),
+            name=f"refresh-build-{trigger_index}", daemon=True)
+        self._thread.start()
+        return handle
+
+    def _run(self, handle: RefreshHandle, ensemble,
+             history: np.ndarray) -> None:
+        try:
+            # The start-hook runs inside the guard: a raising telemetry
+            # hook fails the build (surfaced at the next boundary)
+            # instead of wedging the handle in 'building' forever.
+            if self.on_build_start is not None:
+                self.on_build_start(handle)
+            replacement, report = self.refresher.build(
+                ensemble, history, handle.trigger_index,
+                generation=handle.generation,
+                trigger_index=handle.trigger_index, mode="async")
+        except Exception as error:
+            handle._finish("failed", error=error)
+        else:
+            handle._finish("ready", replacement=replacement, report=report)
+        try:
+            if self.on_build_done is not None:
+                self.on_build_done(handle)
+        finally:
+            handle.done.set()          # even if the done-hook raises
+
+    def poll(self) -> Optional[RefreshHandle]:
+        """The active handle once its build has finished, else None.
+
+        Non-blocking; the handle stays active until :meth:`take` or
+        :meth:`discard` consumes it.
+        """
+        handle = self.handle
+        if handle is not None and handle.done.is_set():
+            return handle
+        return None
+
+    def take(self) -> Optional[RefreshHandle]:
+        """Detach and return the finished handle (ready or failed), if
+        any — the engine's boundary-swap entry point."""
+        handle = self.poll()
+        if handle is not None:
+            self._handle = None
+        return handle
+
+    def discard(self) -> Optional[RefreshHandle]:
+        """Abandon the active build, if any; its result will never serve.
+
+        The build thread, if still running, finishes into the discarded
+        state and its replacement is dropped.  Returns the abandoned
+        handle.
+        """
+        handle = self.handle
+        self._handle = None
+        if handle is not None:
+            handle._resolve("discarded")
+        return handle
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for the build thread to exit (True if it has)."""
+        thread = self._thread
+        if thread is None or not thread.is_alive():
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()

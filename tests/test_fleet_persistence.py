@@ -1,0 +1,219 @@
+"""Fleet-level checkpointing: save/load a StreamFleet mid-stream.
+
+The acceptance bar: after a save/load round trip, every subsequent
+:class:`StreamUpdate` (scores, alerts, drift events, thresholds) is
+*identical* to the uninterrupted run — frozen dataclasses compared
+exactly, no tolerances.  Plus the deterministic resolution of a detector
+saved mid-async-refresh: the half-built replacement is discarded, the
+request survives, and the resumed stream rebuilds it.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import load_fleet, save_fleet
+from repro.streaming import (BurnInMAD, DDMDrift, EnsembleRefresher,
+                             shared_fleet)
+from tests.conftest import sine_regime
+from tests.test_streaming_worker import (ConstantEnsemble, SlowRefresher,
+                                         wait_build_started)
+
+STREAMS = ["web-1", "web-2", "db-1", "db-2", "cache-1"]
+
+
+def stream_traffic(name: str, n: int, start: int):
+    """Per-stream deterministic traffic: distinct phase and noise per
+    stream, one with a planted spike and one with a regime shift."""
+    offset = 37 * STREAMS.index(name)
+    series = sine_regime(n, start=start + offset, seed=STREAMS.index(name))
+    if name == "web-2":
+        series[n // 2] += 9.0                 # planted point outlier
+    if name == "db-1" and start >= 420:
+        series += 2.5                         # regime change mid-stream
+    return series
+
+
+def make_fleet(stream_ensemble):
+    return shared_fleet(stream_ensemble,
+                        calibrator_factory=lambda: BurnInMAD(20, 8.0),
+                        drift_factory=lambda: DDMDrift(min_samples=15),
+                        history=128)
+
+
+def drive(fleet, n, start):
+    return {name: fleet.update_batch(name, stream_traffic(name, n, start))
+            for name in STREAMS}
+
+
+class TestFleetRoundTrip:
+    def test_five_stream_fleet_resumes_identically(self, stream_ensemble,
+                                                   tmp_path):
+        """Save a 5-stream fleet mid-stream; every subsequent StreamUpdate
+        must match the uninterrupted run exactly."""
+        fleet = make_fleet(stream_ensemble)
+        for name in STREAMS:
+            fleet.warm_up(name, sine_regime(7, start=300,
+                                            seed=STREAMS.index(name)))
+        drive(fleet, 40, start=360)
+
+        save_fleet(fleet, str(tmp_path / "ckpt"))
+        resumed = load_fleet(str(tmp_path / "ckpt"))
+
+        assert resumed.names == fleet.names
+        assert resumed.total_observations == fleet.total_observations
+        # The shared ensemble was stored once and is shared again.
+        first = resumed.detector(STREAMS[0]).ensemble
+        assert all(resumed.detector(name).ensemble is first
+                   for name in STREAMS)
+        assert len(list((tmp_path / "ckpt").glob("ensemble_*"))) == 1
+
+        # Both fleets continue over identical future traffic, in ragged
+        # micro-batches, and must emit identical updates throughout.
+        for chunk_start, chunk in ((400, 13), (413, 1), (414, 26)):
+            for name in STREAMS:
+                traffic = stream_traffic(name, chunk, chunk_start)
+                left = fleet.update_batch(name, traffic)
+                right = resumed.update_batch(name, traffic)
+                assert left == right          # exact: scores, thresholds,
+                #                               alerts, drift, refreshed
+        for name in STREAMS:
+            original = fleet.detector(name)
+            restored = resumed.detector(name)
+            assert restored.alerts == original.alerts
+            assert restored.drift_events == original.drift_events
+            assert restored.threshold == original.threshold
+        stats_left = {s.name: s for s in fleet.stats()}
+        stats_right = {s.name: s for s in resumed.stats()}
+        assert stats_left == stats_right
+        # The planted spike and only it alerted on web-2's stream.
+        assert stats_right["web-2"].n_alerts >= 1
+
+    def test_private_refreshed_ensembles_are_stored_separately(
+            self, stream_ensemble, tmp_path):
+        """A stream whose refresh replaced the shared ensemble gets its
+        own weights directory; the rest still share one."""
+        fleet = shared_fleet(
+            stream_ensemble,
+            drift_factory=lambda: DDMDrift(min_samples=15),
+            refresher_factory=lambda: EnsembleRefresher(
+                min_history=64, epochs_per_model=1),
+            history=128)
+        for name in STREAMS:
+            fleet.warm_up(name, sine_regime(7, start=300,
+                                            seed=STREAMS.index(name)))
+        drive(fleet, 40, start=360)
+        # Drive only db-1 (the shifted stream) until it refreshes.
+        shifted = stream_traffic("db-1", 120, 420)
+        fleet.update_batch("db-1", shifted)
+        assert fleet.detector("db-1").n_refreshes >= 1
+        assert fleet.detector("db-1").ensemble is not stream_ensemble
+
+        save_fleet(fleet, str(tmp_path / "ckpt"))
+        assert len(list((tmp_path / "ckpt").glob("ensemble_*"))) == 2
+        resumed = load_fleet(
+            str(tmp_path / "ckpt"),
+            refresher_factory=lambda: EnsembleRefresher(
+                min_history=64, epochs_per_model=1))
+        # Non-refreshed streams share one instance; db-1 has its own.
+        shared = resumed.detector("web-1").ensemble
+        assert resumed.detector("cache-1").ensemble is shared
+        assert resumed.detector("db-1").ensemble is not shared
+        # Refresh bookkeeping round-tripped, including the cooldown clock.
+        original = fleet.detector("db-1")
+        restored = resumed.detector("db-1")
+        assert restored.refresh_reports == original.refresh_reports
+        assert restored.refresher.last_refresh_index == \
+            original.refresh_reports[-1].index
+        # And the restored pair still scores identically.
+        tail = stream_traffic("db-1", 30, 540)
+        assert fleet.update_batch("db-1", tail) == \
+            resumed.update_batch("db-1", tail)
+
+    def test_new_streams_need_a_factory(self, stream_ensemble, tmp_path):
+        fleet = make_fleet(stream_ensemble)
+        drive(fleet, 20, start=360)
+        save_fleet(fleet, str(tmp_path / "ckpt"))
+        resumed = load_fleet(str(tmp_path / "ckpt"))
+        with pytest.raises(KeyError):
+            resumed.update("brand-new", np.zeros(2))
+        growable = load_fleet(
+            str(tmp_path / "ckpt"),
+            detector_factory=lambda name: make_fleet(stream_ensemble)
+            .detector(name))
+        growable.update_batch("brand-new", sine_regime(10, start=0))
+        assert "brand-new" in growable
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_fleet(str(tmp_path / "nowhere"))
+
+
+class TestMidAsyncRefreshSave:
+    def test_in_flight_build_is_discarded_and_request_survives(
+            self, stream_ensemble, tmp_path):
+        """Saving a fleet while one detector's async build is in flight
+        resolves deterministically: the build is dropped, the pending
+        request is persisted, and the resumed detector re-runs the
+        refresh from its restored corpus."""
+        gates = {}
+
+        def refresher_factory():
+            gate = threading.Event()
+            refresher = SlowRefresher(
+                ConstantEnsemble(777.0, stream_ensemble.cae_config), gate)
+            gates[id(refresher)] = gate
+            return refresher
+
+        fleet = shared_fleet(stream_ensemble,
+                             drift_factory=lambda: DDMDrift(min_samples=15),
+                             refresher_factory=refresher_factory,
+                             history=128, refresh_mode="async")
+        for name in STREAMS:
+            fleet.warm_up(name, sine_regime(7, start=300,
+                                            seed=STREAMS.index(name)))
+        drive(fleet, 40, start=360)
+        # A persistent shift on one stream confirms drift and launches an
+        # async build, which the gate holds open.
+        building = fleet.detector(STREAMS[0])
+        fleet.update_batch(STREAMS[0],
+                           sine_regime(60, start=400, seed=0) + 3.0)
+        assert wait_build_started(building.refresher)
+        assert building.pending_refresh is not None
+        assert building.pending_refresh.in_flight
+
+        # Save while the build is held open: deterministic by contract.
+        save_fleet(fleet, str(tmp_path / "ckpt"))
+        for gate in gates.values():
+            gate.set()                  # release the original's builds
+
+        resumed_refreshers = []
+
+        def resumed_factory():
+            refresher = refresher_factory()
+            gates[id(refresher)].set()  # resumed builds run instantly
+            resumed_refreshers.append(refresher)
+            return refresher
+
+        resumed = load_fleet(str(tmp_path / "ckpt"),
+                             refresher_factory=resumed_factory)
+        for name in STREAMS:
+            detector = resumed.detector(name)
+            assert detector.n_refreshes == 0
+            assert detector.pending_refresh is None     # build discarded
+        restored = resumed.detector(STREAMS[0])
+        assert restored._pending_refresh                # request survived
+        # A quiet stream (no spike, no shift, so no drift) carries none.
+        assert not resumed.detector("cache-1")._pending_refresh
+
+        # The resumed detector re-runs the refresh on fresh traffic.
+        restored.update_batch(stream_traffic(STREAMS[0], 10, 400))
+        assert restored.wait_for_refresh(timeout=30)
+        assert restored.n_refreshes == 1
+        assert restored.ensemble.score_windows_last(
+            np.zeros((1, stream_ensemble.cae_config.window, 2)))[0] == 777.0
+        # The rebuilt corpus fed the build: it used restored history.
+        rebuilt_report = restored.refresh_reports[0]
+        assert rebuilt_report.mode == "async"
+        assert rebuilt_report.history_length >= 40

@@ -1,5 +1,7 @@
 """Checkpointing a live StreamingDetector across process restarts."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -106,6 +108,96 @@ class TestStreamingDetectorRoundTrip:
         # across another regime change.
         resumed.update_batch(sine_regime(100, start=500, shift=-4.0))
         assert resumed.n_refreshes == 1
+
+    def test_cooldown_clock_survives_load_without_refresher(
+            self, stream_ensemble, tmp_path):
+        """Regression: loading with ``refresher=None`` used to drop the
+        persisted cooldown clock entirely — a refresher attached *after*
+        the load (the natural two-step resume) started with a fresh clock
+        and could refresh immediately.  The clock now lives on the
+        detector and is pushed into whichever refresher is attached,
+        whenever that happens."""
+        detector = make_detector(stream_ensemble, None,
+                                 DDMDrift(min_samples=20))
+        detector.refresher = EnsembleRefresher(min_history=64,
+                                               cooldown=10 ** 6,
+                                               epochs_per_model=1)
+        detector.update_batch(sine_regime(40, start=360))
+        detector.update_batch(sine_regime(100, start=400, shift=3.0))
+        assert detector.n_refreshes == 1
+        refresh_index = detector.refresh_reports[0].index
+        save_streaming_detector(detector, str(tmp_path / "ckpt"))
+
+        # Load with NO refresher, then attach one afterwards.
+        resumed = load_streaming_detector(str(tmp_path / "ckpt"))
+        assert resumed.refresher is None
+        late_refresher = EnsembleRefresher(min_history=64,
+                                           cooldown=10 ** 6,
+                                           epochs_per_model=1)
+        resumed.refresher = late_refresher
+        assert late_refresher.last_refresh_index == refresh_index
+        # The restored clock blocks an immediate re-refresh even across
+        # another regime change.
+        resumed.update_batch(sine_regime(100, start=500, shift=-4.0))
+        assert resumed.n_refreshes == 1
+
+        # And a save -> load -> save cycle with NO refresher ever attached
+        # must not lose the clock either.
+        plain = load_streaming_detector(str(tmp_path / "ckpt"))
+        save_streaming_detector(plain, str(tmp_path / "ckpt2"))
+        twice = load_streaming_detector(str(tmp_path / "ckpt2"))
+        assert twice._last_refresh_index == refresh_index
+        late = EnsembleRefresher(cooldown=10 ** 6)
+        twice.refresher = late
+        assert late.last_refresh_index == refresh_index
+
+    def test_conflicting_corpus_warns_on_any_attach_path(
+            self, stream_ensemble, tmp_path):
+        """An explicit corpus that conflicts with the detector's existing
+        buffer warns — whether the refresher arrives via load or is
+        attached afterwards — and the saved corpus always wins."""
+        detector = StreamingDetector(
+            stream_ensemble,
+            refresher=EnsembleRefresher(corpus="decayed_reservoir"),
+            history=64)
+        detector.warm_up(sine_regime(7, start=353))
+        detector.update_batch(sine_regime(20, start=360))
+        save_streaming_detector(detector, str(tmp_path / "ckpt"))
+        # Default (no corpus preference): silent, saved corpus kept.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resumed = load_streaming_detector(
+                str(tmp_path / "ckpt"), refresher=EnsembleRefresher())
+        assert resumed._history.kind == "decayed_reservoir"
+        # Explicit conflict at load: warns once.
+        with pytest.warns(UserWarning, match="refresh corpus"):
+            load_streaming_detector(str(tmp_path / "ckpt"),
+                                    refresher=EnsembleRefresher(
+                                        corpus="ring"))
+        # Explicit conflict attached after load: warns the same way.
+        plain = load_streaming_detector(str(tmp_path / "ckpt"))
+        with pytest.warns(UserWarning, match="refresh corpus"):
+            plain.refresher = EnsembleRefresher(corpus="ring")
+        assert plain._history.kind == "decayed_reservoir"
+
+    def test_refresher_clock_ahead_of_detector_is_persisted(
+            self, stream_ensemble, tmp_path):
+        """Regression: attaching a refresher that is already mid-cooldown
+        (its clock ahead of the detector's) must persist that clock, so
+        the resumed detector cannot refresh sooner than the live one."""
+        refresher = EnsembleRefresher(cooldown=10 ** 6)
+        refresher.last_refresh_index = 5000
+        detector = StreamingDetector(stream_ensemble, refresher=refresher,
+                                     history=64)
+        detector.warm_up(sine_regime(7, start=353))
+        detector.update_batch(sine_regime(20, start=360))
+        assert detector.state_dict()["last_refresh_index"] == 5000
+        save_streaming_detector(detector, str(tmp_path / "ckpt"))
+        fresh = EnsembleRefresher(cooldown=10 ** 6)
+        resumed = load_streaming_detector(str(tmp_path / "ckpt"),
+                                          refresher=fresh)
+        assert fresh.last_refresh_index == 5000
+        assert resumed._last_refresh_index == 5000
 
     def test_detector_without_optional_parts(self, stream_ensemble,
                                              tmp_path):
