@@ -7,7 +7,7 @@ from .diversity import (diversity_driven_loss, diversity_term,
                         ensemble_diversity, pairwise_diversity,
                         reconstruction_loss)
 from .embedding import InputEmbedding
-from .ensemble import CAEEnsemble, EpochRecord
+from .ensemble import CAEEnsemble, EpochRecord, TrainingCancelled
 from .hyperparams import (DEFAULT_BETA_RANGE, DEFAULT_LAMBDA_RANGE,
                           DEFAULT_WINDOW_RANGE,
                           PAPER_SELECTED_HYPERPARAMETERS, SelectionResult,
@@ -15,7 +15,8 @@ from .hyperparams import (DEFAULT_BETA_RANGE, DEFAULT_LAMBDA_RANGE,
 from .layers import DecoderLayer, Encoder, EncoderLayer, GLUConv
 from .persistence import (load_ensemble, load_fleet,
                           load_streaming_detector, save_ensemble,
-                          save_fleet, save_streaming_detector)
+                          save_fleet, save_streaming_detector,
+                          verify_checkpoint)
 from .ratio_estimation import (elbow_ratio_estimate, estimate_outlier_ratio,
                                gaussian_tail_estimate, mad_ratio_estimate,
                                ratio_report)
@@ -28,7 +29,8 @@ __all__ = [
     "DEFAULT_BETA_RANGE", "DEFAULT_LAMBDA_RANGE", "DEFAULT_WINDOW_RANGE",
     "Encoder", "EncoderLayer", "EnsembleConfig", "EpochRecord", "GLUConv",
     "GlobalAttention", "InputEmbedding", "PAPER_SELECTED_HYPERPARAMETERS",
-    "RepairResult", "SelectionResult", "TransferReport", "Trial",
+    "RepairResult", "SelectionResult", "TrainingCancelled",
+    "TransferReport", "Trial",
     "diversity_driven_loss", "diversity_term", "elbow_ratio_estimate",
     "ensemble_diversity", "ensemble_reconstruction",
     "estimate_outlier_ratio", "fast_config", "gaussian_tail_estimate",
@@ -37,5 +39,5 @@ __all__ = [
     "paper_config", "pairwise_diversity", "ratio_report",
     "reconstruction_loss", "repair_quality", "repair_series",
     "save_ensemble", "save_fleet", "save_streaming_detector",
-    "select_hyperparameters", "transfer_parameters",
+    "select_hyperparameters", "transfer_parameters", "verify_checkpoint",
 ]

@@ -39,6 +39,21 @@ class EpochRecord:
     diversity: float
 
 
+class TrainingCancelled(RuntimeError):
+    """Raised by :meth:`CAEEnsemble.fit` when its ``cancel`` flag is set.
+
+    Cooperative: the flag is polled between basic-model fits (the unit of
+    progress worth preserving), so a cancelled fit stops before training
+    its next model rather than mid-epoch.  The ensemble is left unfitted —
+    callers that cancel a build must keep serving their previous models.
+    """
+
+    def __init__(self, models_trained: int):
+        super().__init__(f"ensemble fit cancelled after "
+                         f"{models_trained} basic model(s)")
+        self.models_trained = models_trained
+
+
 class CAEEnsemble:
     """Diversity-driven convolutional autoencoder ensemble.
 
@@ -67,7 +82,8 @@ class CAEEnsemble:
     # ------------------------------------------------------------------
     def fit(self, series: np.ndarray, verbose: bool = False,
             warm_start: Optional[Sequence[CAE]] = None,
-            warm_start_fraction: Optional[float] = None) -> "CAEEnsemble":
+            warm_start_fraction: Optional[float] = None,
+            cancel=None) -> "CAEEnsemble":
         """Train all basic models on an unlabelled series ``(L, D)``.
 
         ``warm_start`` optionally provides an already-trained generation of
@@ -77,6 +93,14 @@ class CAEEnsemble:
         drift-triggered refresh path of :mod:`repro.streaming.refresh`.
         Models without a warm-start counterpart fall back to the usual
         chain transfer from their predecessor.
+
+        ``cancel`` is an optional cooperative-cancellation flag (anything
+        with ``is_set() -> bool``, e.g. a ``threading.Event``), polled
+        before each basic-model fit.  A set flag raises
+        :class:`TrainingCancelled` and leaves the ensemble unfitted —
+        the release valve for superseded or abandoned background refresh
+        builds (:mod:`repro.streaming.coordinator`), which would otherwise
+        train all remaining models for a result nobody will serve.
         """
         start_time = time.perf_counter()
         windows = self._prepare_training_windows(series)
@@ -91,6 +115,9 @@ class CAEEnsemble:
         ensemble_sum: Optional[np.ndarray] = None
 
         for model_index in range(self.config.n_models):
+            if cancel is not None and cancel.is_set():
+                self.models = []
+                raise TrainingCancelled(model_index)
             model = CAE(self.cae_config,
                         np.random.default_rng(self._rng.integers(2 ** 32)))
             if model_index < len(warm_models) and warm_fraction > 0.0:

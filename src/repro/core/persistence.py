@@ -24,7 +24,25 @@ detector saved with an async refresh build in flight resolves
 deterministically: the half-trained build is discarded, the refresh
 *request* is persisted as pending, and the resumed detector rebuilds the
 replacement from its restored corpus as soon as the refresher's gates
-allow.
+allow.  Fleets running refresh admission control
+(:class:`repro.streaming.RefreshCoordinator`) persist the coordinator's
+configuration and cumulative counters (fleet format v2); queued and
+deduplicated builds in flight resolve like any other in-flight build —
+per-stream pending requests, re-submitted (and re-deduplicated) after
+resume.
+
+**Crash safety.**  Every save (:func:`save_ensemble`,
+:func:`save_streaming_detector`, :func:`save_fleet`) is written to a
+temporary sibling directory, fsynced, and atomically renamed over the
+previous checkpoint, with a ``checkpoint.json`` manifest written last
+listing every file the checkpoint must contain.  A crash mid-save
+therefore never corrupts the previous checkpoint: either the old
+directory is still in place, or it survives under a ``.stale`` suffix
+that the loaders transparently recover.  The checkpoint directory is
+**owned** by the checkpoint: each save replaces it wholesale, so files
+placed next to the state files do not survive (a populated directory
+that is not a checkpoint is refused outright).  See
+``docs/checkpoints.md`` for the full format specification.
 
 Round-trips are exact: a reloaded ensemble produces bit-identical scores,
 and a reloaded detector continues with an identical threshold.
@@ -35,7 +53,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from typing import Optional
+import shutil
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -57,11 +76,185 @@ STREAMING_FORMAT_VERSION = 2
 STREAMING_COMPAT_VERSIONS = (1, 2)
 
 FLEET_STATE_NAME = "fleet.json"
-FLEET_FORMAT_VERSION = 1
+# v2: optional top-level 'coordinator' entry (admission-control config +
+# counters).  v1 fleets remain loadable (no coordinator); v1 readers
+# reject v2 files cleanly at the version check.
+FLEET_FORMAT_VERSION = 2
+FLEET_COMPAT_VERSIONS = (1, 2)
+
+# The crash-safety manifest written last into every checkpoint directory.
+CHECKPOINT_MANIFEST_NAME = "checkpoint.json"
+CHECKPOINT_FORMAT_VERSION = 1
+_SAVING_SUFFIX = ".saving"
+_STALE_SUFFIX = ".stale"
+
+
+# ----------------------------------------------------------------------
+# Atomic checkpoint directories
+# ----------------------------------------------------------------------
+def _write_checkpoint_manifest(directory: str, kind: str) -> None:
+    """Record what a complete checkpoint of ``kind`` contains.
+
+    Written *last*: a checkpoint directory without (or with an
+    incomplete) manifest is a torn write.  The file list is relative and
+    sorted, so completeness can be verified on load.
+    """
+    files = []
+    for root, _, names in os.walk(directory):
+        for name in names:
+            files.append(os.path.relpath(os.path.join(root, name),
+                                         directory))
+    manifest = {
+        "checkpoint_format": CHECKPOINT_FORMAT_VERSION,
+        "kind": kind,
+        "files": sorted(files),
+    }
+    with open(os.path.join(directory, CHECKPOINT_MANIFEST_NAME),
+              "w") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+_CHECKPOINT_MARKERS = (CHECKPOINT_MANIFEST_NAME, MANIFEST_NAME,
+                       STREAMING_STATE_NAME, FLEET_STATE_NAME)
+
+
+def _fsync_dir(path: str) -> None:
+    """Flush a directory entry to stable storage, best-effort
+    (filesystems that reject directory fsync are tolerated — the same
+    guarantee most checkpointing systems settle for there)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _fsync_tree(directory: str) -> None:
+    """Flush every file (and directory entry) under ``directory`` to
+    stable storage — the new checkpoint must be durable *before* the
+    previous one is deleted, or a power loss after the rename could
+    leave truncated files as the only copy."""
+    for root, _, names in os.walk(directory):
+        for name in names:
+            with open(os.path.join(root, name), "rb") as handle:
+                os.fsync(handle.fileno())
+        _fsync_dir(root)
+
+
+def _atomic_save(directory: str, kind: str,
+                 write: Callable[[str], None]) -> None:
+    """Run ``write(tmp_dir)`` then atomically publish it at ``directory``.
+
+    The writer populates a temporary sibling directory, which is
+    fsynced; the previous checkpoint — if any — is moved aside, the new
+    one renamed into place, and only then is the old one deleted.  Any
+    crash leaves either the old checkpoint at ``directory`` or (in the
+    narrow window between the two renames) intact under
+    ``directory + '.stale'``, which :func:`_recover_checkpoint` restores
+    on the next load.
+
+    Because the whole directory is replaced, ``directory`` is owned by
+    the checkpoint: files a user drops next to the state files do not
+    survive the next save.  An existing ``directory`` must itself be a
+    checkpoint (any known state file marks it, so pre-manifest
+    checkpoints qualify) — refusing to replace anything else protects
+    unrelated data from a mistyped path.
+    """
+    directory = os.path.normpath(directory)
+    if os.path.isdir(directory) and os.listdir(directory) and \
+            not any(os.path.exists(os.path.join(directory, marker))
+                    for marker in _CHECKPOINT_MARKERS):
+        raise ValueError(
+            f"refusing to replace {directory!r}: it exists, is not "
+            f"empty, and does not look like a checkpoint (no "
+            f"{'/'.join(_CHECKPOINT_MARKERS)}) — saves atomically "
+            f"replace the whole directory, so point them at a "
+            f"dedicated checkpoint path")
+    parent = os.path.dirname(os.path.abspath(directory))
+    os.makedirs(parent, exist_ok=True)
+    tmp = directory + _SAVING_SUFFIX
+    stale = directory + _STALE_SUFFIX
+    for leftover in (tmp,):
+        if os.path.isdir(leftover):       # a previous save crashed mid-write
+            shutil.rmtree(leftover)
+    if os.path.isdir(stale) and os.path.isdir(directory):
+        shutil.rmtree(stale)              # crashed after publishing: done
+    os.makedirs(tmp)
+    try:
+        write(tmp)
+        _write_checkpoint_manifest(tmp, kind)
+        _fsync_tree(tmp)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    if os.path.isdir(directory):
+        os.rename(directory, stale)
+    os.rename(tmp, directory)
+    _fsync_dir(parent)     # make the renames durable before deleting
+    if os.path.isdir(stale):
+        shutil.rmtree(stale)
+
+
+def _recover_checkpoint(directory: str) -> None:
+    """Roll back to the last good checkpoint after a mid-save crash.
+
+    If a save crashed between moving the old checkpoint aside and
+    publishing the new one, ``directory`` is missing but the previous
+    good state survives at ``directory + '.stale'`` — restore it.
+    Leftover ``.saving`` temp directories are ignored (torn writes).
+    """
+    directory = os.path.normpath(directory)
+    stale = directory + _STALE_SUFFIX
+    if not os.path.isdir(directory) and os.path.isdir(stale):
+        os.rename(stale, directory)
+
+
+def verify_checkpoint(directory: str) -> bool:
+    """Whether ``directory`` is a complete checkpoint.
+
+    True when its ``checkpoint.json`` manifest exists and every listed
+    file is present.  Directories predating the manifest (or written by
+    hand) return True as long as they exist — completeness is then only
+    checked by the loaders' own format validation.  Mirrors the loaders:
+    a checkpoint recoverable from a mid-rename crash (intact under
+    ``.stale``) is recovered first, then verified.
+    """
+    directory = os.path.normpath(directory)
+    _recover_checkpoint(directory)
+    if not os.path.isdir(directory):
+        return False
+    manifest_path = os.path.join(directory, CHECKPOINT_MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        return True                       # pre-manifest checkpoint
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        files = manifest.get("files", [])
+    except (OSError, ValueError, AttributeError):
+        return False                      # truncated/corrupt manifest IS
+        #                                   the damage this detects
+    return all(os.path.exists(os.path.join(directory, name))
+               for name in files)
 
 
 def save_ensemble(ensemble: CAEEnsemble, directory: str) -> None:
-    """Persist a fitted ensemble to ``directory`` (created if missing)."""
+    """Persist a fitted ensemble to ``directory``.
+
+    Crash-safe: the checkpoint is assembled in a temporary sibling
+    directory and atomically renamed into place, so an interrupted save
+    never corrupts an existing checkpoint at ``directory``.
+    """
+    _atomic_save(directory, "ensemble",
+                 lambda tmp: _write_ensemble(ensemble, tmp))
+
+
+def _write_ensemble(ensemble: CAEEnsemble, directory: str) -> None:
+    """Write the ensemble files into an existing ``directory``."""
     if not ensemble.models:
         raise ValueError("cannot save an unfitted ensemble")
     os.makedirs(directory, exist_ok=True)
@@ -86,7 +279,12 @@ def save_ensemble(ensemble: CAEEnsemble, directory: str) -> None:
 
 
 def load_ensemble(directory: str) -> CAEEnsemble:
-    """Reconstruct a fitted ensemble saved by :func:`save_ensemble`."""
+    """Reconstruct a fitted ensemble saved by :func:`save_ensemble`.
+
+    Transparently recovers the previous checkpoint if the last save
+    crashed between its atomic renames.
+    """
+    _recover_checkpoint(directory)
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     if not os.path.exists(manifest_path):
         raise FileNotFoundError(f"no ensemble manifest at {manifest_path}")
@@ -126,25 +324,31 @@ def save_streaming_detector(detector, directory: str) -> None:
 
     ``detector`` is a :class:`repro.streaming.StreamingDetector`; imported
     lazily because ``repro.streaming`` builds on ``repro.core``.
+    Crash-safe: written to a temporary directory and atomically renamed,
+    so a mid-save crash never corrupts the previous checkpoint.
     """
-    os.makedirs(directory, exist_ok=True)
-    save_ensemble(detector.ensemble,
-                  os.path.join(directory, STREAMING_ENSEMBLE_DIR))
-    payload = {
-        "format_version": STREAMING_FORMAT_VERSION,
-        "state": detector.state_dict(),
-    }
-    with open(os.path.join(directory, STREAMING_STATE_NAME), "w") as handle:
-        json.dump(payload, handle, indent=2)
+    def write(tmp: str) -> None:
+        _write_ensemble(detector.ensemble,
+                        os.path.join(tmp, STREAMING_ENSEMBLE_DIR))
+        payload = {
+            "format_version": STREAMING_FORMAT_VERSION,
+            "state": detector.state_dict(),
+        }
+        with open(os.path.join(tmp, STREAMING_STATE_NAME), "w") as handle:
+            json.dump(payload, handle, indent=2)
+
+    _atomic_save(directory, "streaming_detector", write)
 
 
 def load_streaming_detector(directory: str, refresher=None):
     """Resume a streaming detector saved by :func:`save_streaming_detector`.
 
     The refresher (a policy object, not stream state) is supplied fresh by
-    the caller rather than persisted.
+    the caller rather than persisted.  Recovers the previous checkpoint
+    first if the last save crashed mid-rename.
     """
     from ..streaming.engine import StreamingDetector
+    _recover_checkpoint(directory)
     state_path = os.path.join(directory, STREAMING_STATE_NAME)
     if not os.path.exists(state_path):
         raise FileNotFoundError(f"no streaming state at {state_path}")
@@ -164,13 +368,16 @@ def save_fleet(fleet, directory: str) -> None:
     """Checkpoint a live :class:`repro.streaming.StreamFleet`.
 
     Layout: ``fleet.json`` (per-stream detector state plus an ensemble
-    reference per stream) next to ``ensemble_<i>/`` directories — one per
-    *distinct* ensemble instance across the fleet, so the shared ensemble
-    of a large deployment is written exactly once.  Detectors with an
-    async refresh build in flight are saved with the build discarded and
-    the refresh request pending (see the module docstring).
+    reference per stream, and — fleet format v2 — the refresh
+    coordinator's configuration and admission counters) next to
+    ``ensemble_<i>/`` directories — one per *distinct* ensemble instance
+    across the fleet, so the shared ensemble of a large deployment is
+    written exactly once.  Detectors with an async refresh build in
+    flight — private, queued, or deduplicated onto a shared coordinator
+    build — are saved with the build discarded and the refresh request
+    pending per stream (see the module docstring).  Crash-safe: written
+    to a temporary directory and atomically renamed.
     """
-    os.makedirs(directory, exist_ok=True)
     ensembles = []                  # distinct instances, identity-deduped
     references = {}
     for name in fleet.names:
@@ -182,23 +389,28 @@ def save_fleet(fleet, directory: str) -> None:
         else:
             references[name] = len(ensembles)
             ensembles.append(ensemble)
-    for index, ensemble in enumerate(ensembles):
-        save_ensemble(ensemble, os.path.join(directory,
-                                             f"ensemble_{index}"))
-    state = fleet.state_dict()
-    payload = {
-        "format_version": FLEET_FORMAT_VERSION,
-        "n_ensembles": len(ensembles),
-        "streams": {name: {"ensemble": references[name],
-                           "state": state["streams"][name]}
-                    for name in fleet.names},
-    }
-    with open(os.path.join(directory, FLEET_STATE_NAME), "w") as handle:
-        json.dump(payload, handle, indent=2)
+
+    def write(tmp: str) -> None:
+        for index, ensemble in enumerate(ensembles):
+            _write_ensemble(ensemble, os.path.join(tmp,
+                                                   f"ensemble_{index}"))
+        state = fleet.state_dict()
+        payload = {
+            "format_version": FLEET_FORMAT_VERSION,
+            "n_ensembles": len(ensembles),
+            "coordinator": state.get("coordinator"),
+            "streams": {name: {"ensemble": references[name],
+                               "state": state["streams"][name]}
+                        for name in fleet.names},
+        }
+        with open(os.path.join(tmp, FLEET_STATE_NAME), "w") as handle:
+            json.dump(payload, handle, indent=2)
+
+    _atomic_save(directory, "fleet", write)
 
 
 def load_fleet(directory: str, refresher_factory=None,
-               detector_factory=None):
+               detector_factory=None, coordinator=None):
     """Resume a fleet saved by :func:`save_fleet`.
 
     ``refresher_factory`` builds one fresh refresher per resumed stream
@@ -206,24 +418,34 @@ def load_fleet(directory: str, refresher_factory=None,
     is restored onto its refresher.  ``detector_factory`` (optional)
     serves stream names first seen after the resume; without it, unknown
     names raise ``KeyError``.  Streams that shared an ensemble at save
-    time share one reloaded instance.
+    time share one reloaded instance.  ``coordinator`` overrides the
+    admission control of the resumed fleet; when None and the checkpoint
+    carries a coordinator entry (fleet format v2), one is rebuilt from
+    the saved configuration and counters — its queue starts empty, and
+    each stream's persisted pending request re-submits (and re-dedups)
+    once its gates allow.  Recovers the previous checkpoint first if the
+    last save crashed mid-rename.
     """
     from ..streaming.multi import StreamFleet
+    _recover_checkpoint(directory)
     state_path = os.path.join(directory, FLEET_STATE_NAME)
     if not os.path.exists(state_path):
         raise FileNotFoundError(f"no fleet state at {state_path}")
     with open(state_path) as handle:
         payload = json.load(handle)
-    if payload.get("format_version") != FLEET_FORMAT_VERSION:
+    if payload.get("format_version") not in FLEET_COMPAT_VERSIONS:
         raise ValueError(f"unsupported fleet format "
-                         f"{payload.get('format_version')!r}")
+                         f"{payload.get('format_version')!r}; this reader "
+                         f"handles {FLEET_COMPAT_VERSIONS}")
     ensembles = [load_ensemble(os.path.join(directory, f"ensemble_{index}"))
                  for index in range(int(payload["n_ensembles"]))]
     streams = payload["streams"]
     state = {"streams": {name: entry["state"]
-                         for name, entry in streams.items()}}
+                         for name, entry in streams.items()},
+             "coordinator": payload.get("coordinator")}
     return StreamFleet.from_state(
         state,
         ensemble_for=lambda name: ensembles[int(streams[name]["ensemble"])],
         refresher_factory=refresher_factory,
-        detector_factory=detector_factory)
+        detector_factory=detector_factory,
+        coordinator=coordinator)

@@ -20,6 +20,14 @@ For *streaming* runs (``repro.streaming``) a third view matters: how
 how often the drift layer fired.  :func:`stream_event_report` computes
 per-segment detection latency from the engine's alert indices and carries
 the drift/refresh counters alongside.
+
+For *fleet* runs under refresh admission control
+(:class:`repro.streaming.RefreshCoordinator`), the model-maintenance
+story is fleet-wide: how many build requests the streams raised, how
+many distinct builds actually ran (dedup), how many were cancelled
+before wasting CPU, and how close the pool came to its concurrency cap.
+:func:`fleet_refresh_report` renders those admission counters as a
+report next to the per-stream accuracy views.
 """
 
 from __future__ import annotations
@@ -33,7 +41,12 @@ from .classification import precision_recall_f1
 
 
 def label_segments(labels: np.ndarray) -> List[Tuple[int, int]]:
-    """Contiguous runs of 1s as (start, stop) with stop exclusive."""
+    """Contiguous runs of 1s as (start, stop) with stop exclusive.
+
+    >>> import numpy as np
+    >>> label_segments(np.array([0, 1, 1, 0, 1]))
+    [(1, 3), (4, 5)]
+    """
     labels = np.asarray(labels).astype(np.int64).reshape(-1)
     if not set(np.unique(labels)).issubset({0, 1}):
         raise ValueError("labels must be binary 0/1")
@@ -44,7 +57,12 @@ def label_segments(labels: np.ndarray) -> List[Tuple[int, int]]:
 
 
 def point_adjust(labels: np.ndarray, predictions: np.ndarray) -> np.ndarray:
-    """Expand predictions to whole ground-truth segments once hit."""
+    """Expand predictions to whole ground-truth segments once hit.
+
+    >>> import numpy as np
+    >>> point_adjust(np.array([1, 1, 1, 0]), np.array([0, 1, 0, 0]))
+    array([1, 1, 1, 0])
+    """
     labels = np.asarray(labels).astype(np.int64).reshape(-1)
     predictions = np.asarray(predictions).astype(np.int64).reshape(-1)
     if labels.shape != predictions.shape:
@@ -150,6 +168,66 @@ class StreamReport:
         refresh reports)."""
         return float(np.mean(self.refresh_lags)) if self.refresh_lags \
             else float("nan")
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetRefreshReport:
+    """Fleet-wide refresh admission summary (the coordinator's ledger).
+
+    ``n_requests`` counts stream-level refresh submissions.
+    ``n_deduped`` of them (= ``builds_saved``) joined an existing build
+    instead of enqueuing their own — work avoided because co-drifting
+    streams shared an ensemble.  ``n_builds`` is how many distinct
+    builds actually *started training* (a build cancelled while still
+    queued never counts here — it appears in ``n_cancelled``, which
+    also covers builds interrupted between basic-model fits after every
+    subscriber abandoned them).  ``max_concurrent`` is the observed
+    peak of simultaneously-running builds; under a correctly sized pool
+    it never exceeds ``max_concurrent_builds``.
+    """
+    n_requests: int
+    n_builds: int
+    n_deduped: int
+    n_completed: int
+    n_failed: int
+    n_cancelled: int
+    max_concurrent: int
+    max_concurrent_builds: int
+
+    @property
+    def builds_saved(self) -> int:
+        """Training runs avoided by coalescing shared-ensemble requests."""
+        return self.n_deduped
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of requests answered by an already-admitted build."""
+        return self.n_deduped / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def within_cap(self) -> bool:
+        """Whether observed concurrency stayed under the configured cap."""
+        return self.max_concurrent <= self.max_concurrent_builds
+
+
+def fleet_refresh_report(coordinator) -> FleetRefreshReport:
+    """Snapshot a coordinator's admission counters as a report.
+
+    ``coordinator`` is a :class:`repro.streaming.RefreshCoordinator`
+    (duck-typed: anything with ``stats()`` returning
+    :class:`~repro.streaming.coordinator.CoordinatorStats`-shaped fields
+    and a ``max_concurrent_builds`` attribute works).
+    """
+    stats = coordinator.stats()
+    return FleetRefreshReport(
+        n_requests=int(stats.n_requests),
+        n_builds=int(stats.n_admitted),
+        n_deduped=int(stats.n_deduped),
+        n_completed=int(stats.n_completed),
+        n_failed=int(stats.n_failed),
+        n_cancelled=int(stats.n_cancelled),
+        max_concurrent=int(stats.max_concurrent),
+        max_concurrent_builds=int(coordinator.max_concurrent_builds))
 
 
 def stream_event_report(labels: np.ndarray, alert_indices,

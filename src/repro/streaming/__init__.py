@@ -17,6 +17,10 @@ Layers, bottom-up:
                  swap-time ``commit``;
 ``worker``       :class:`RefreshWorker` — background refresh builds, so
                  scoring latency stays flat while a replacement trains;
+``coordinator``  :class:`RefreshCoordinator` — fleet-wide admission
+                 control for refresh builds: bounded concurrency,
+                 FIFO/priority queueing, build dedup across streams
+                 sharing one ensemble, cooperative cancellation;
 ``engine``       :class:`StreamingDetector` — scalar ``update`` and
                  micro-batched ``update_batch`` scoring, wired to the
                  layers above;
@@ -93,6 +97,8 @@ from .buffer import (DecayedReservoirBuffer, HistoryBuffer, ReservoirBuffer,
                      SlidingWindow, history_buffer_from_state)
 from .calibration import (BurnInMAD, DecayedQuantile, calibrator_from_state,
                           robust_mad_threshold)
+from .coordinator import (AdmissionClosed, CoordinatedRefreshClient,
+                          CoordinatorStats, RefreshCoordinator)
 from .drift import (DDMDrift, DriftEvent, PageHinkley,
                     drift_detector_from_state)
 from .engine import StreamingDetector, StreamUpdate
@@ -101,8 +107,10 @@ from .refresh import EnsembleRefresher, RefreshReport
 from .worker import RefreshHandle, RefreshWorker
 
 __all__ = [
-    "BurnInMAD", "DDMDrift", "DecayedQuantile", "DecayedReservoirBuffer",
-    "DriftEvent", "EnsembleRefresher", "HistoryBuffer", "PageHinkley",
+    "AdmissionClosed", "BurnInMAD", "CoordinatedRefreshClient",
+    "CoordinatorStats", "DDMDrift",
+    "DecayedQuantile", "DecayedReservoirBuffer", "DriftEvent",
+    "EnsembleRefresher", "HistoryBuffer", "PageHinkley", "RefreshCoordinator",
     "RefreshHandle", "RefreshReport", "RefreshWorker", "ReservoirBuffer",
     "SlidingWindow", "StreamFleet", "StreamStats", "StreamUpdate",
     "StreamingDetector", "calibrator_from_state",

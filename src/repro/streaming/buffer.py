@@ -61,6 +61,18 @@ def _validate_rows(rows: np.ndarray, dims: int) -> np.ndarray:
 class SlidingWindow:
     """The last ``window`` observations of a stream, viewable without copies.
 
+    >>> import numpy as np
+    >>> window = SlidingWindow(window=3, dims=2)
+    >>> window.ready
+    False
+    >>> window.push_many(np.arange(8.0).reshape(4, 2))
+    >>> window.ready, len(window)
+    (True, 3)
+    >>> window.view()
+    array([[2., 3.],
+           [4., 5.],
+           [6., 7.]])
+
     The backing array holds two mirrored copies of the ring, so the window
     ending at the newest arrival is always one contiguous slice —
     :meth:`view` is O(1) and allocation-free regardless of stream length.
@@ -163,7 +175,16 @@ class SlidingWindow:
 class HistoryBuffer:
     """Ring of the most recent ``capacity`` observations, chronologically
     recoverable via :meth:`to_array` — the retraining corpus for
-    drift-triggered ensemble refresh."""
+    drift-triggered ensemble refresh.
+
+    >>> import numpy as np
+    >>> history = HistoryBuffer(capacity=4, dims=1)
+    >>> history.push_many(np.arange(6.0).reshape(6, 1))
+    >>> len(history), history.total_pushed
+    (4, 6)
+    >>> history.to_array().ravel()      # oldest rows evicted first
+    array([2., 3., 4., 5.])
+    """
 
     kind = "ring"
 

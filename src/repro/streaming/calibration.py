@@ -41,7 +41,16 @@ def robust_mad_threshold(scores: np.ndarray, k: float) -> float:
 
 
 class BurnInMAD:
-    """Freeze ``median + k·MAD`` after a quiet burn-in period."""
+    """Freeze ``median + k·MAD`` after a quiet burn-in period.
+
+    >>> calibrator = BurnInMAD(burn_in=4, k=3.0)
+    >>> calibrator.threshold is None       # still burning in
+    True
+    >>> for score in [1.0, 1.2, 0.8, 1.0]:
+    ...     calibrator.observe(score)
+    >>> calibrator.ready, round(calibrator.threshold, 2)
+    (True, 1.3)
+    """
 
     kind = "burn_in_mad"
 
@@ -104,6 +113,14 @@ class DecayedQuantile:
     ``step·(1−q)`` otherwise.  The step is proportional to an
     exponentially-decayed mean absolute deviation, so the tracker scales
     itself to the score magnitude and keeps adapting under slow drift.
+
+    >>> calibrator = DecayedQuantile(quantile=0.9, warmup=5)
+    >>> for score in [1.0, 2.0, 3.0, 4.0, 5.0]:
+    ...     calibrator.observe(score)
+    >>> calibrator.ready
+    True
+    >>> calibrator.threshold > 4.0         # near the 0.9 quantile
+    True
     """
 
     kind = "decayed_quantile"

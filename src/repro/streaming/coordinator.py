@@ -1,0 +1,557 @@
+"""Fleet-wide refresh admission control: the :class:`RefreshCoordinator`.
+
+The per-stream :class:`~repro.streaming.worker.RefreshWorker` solves the
+serving-vs-adaptation tension for *one* stream, but a fleet multiplies
+it: when N streams drift together — the common case, since co-located
+streams see the same regime change — N independent workers spawn N
+training threads, even when several streams score against the *same*
+shared ensemble and would each build an identical replacement.  Training
+is the expensive part of the whole system (Table 7), so fleet refresh
+cost must be **admitted**, not just deferred.
+
+The coordinator is the fleet's single build authority:
+
+* **Bounded pool** — at most ``max_concurrent_builds`` builds run at
+  once; further admissions queue.  Total refresh CPU is capped no matter
+  how many streams drift in the same window.
+* **Admission queue** — queued builds start in submission order
+  (``policy="fifo"``) or highest-priority-first with FIFO tie-break
+  (``policy="priority"``; a stream's priority is set where its client is
+  created, e.g. paging-critical streams first).
+* **Build dedup** — a submission whose ensemble is *identical* (``is``,
+  the same notion :func:`~repro.core.persistence.save_fleet` dedups
+  weights by) to a queued or in-flight build's joins that build as a
+  subscriber instead of spawning its own.  K co-drifting streams sharing
+  one ensemble cost one build; the finished replacement is fanned out to
+  every subscriber's :class:`~repro.streaming.worker.RefreshHandle` and
+  each stream swaps it in at its own next batch boundary.
+* **Cooperative cancellation** — every build carries a cancel flag that
+  :meth:`~repro.core.ensemble.CAEEnsemble.fit` polls between basic-model
+  fits.  A build that loses its last subscriber (refresher swapped,
+  detector discarded the request, fleet shut down) is cancelled: dequeued
+  if still waiting, or stopped before its next basic model if running —
+  CPU is released immediately instead of finishing a result nobody will
+  serve.
+
+Streams talk to the coordinator through :meth:`RefreshCoordinator.client`
+which returns a :class:`CoordinatedRefreshClient` — a drop-in for
+``RefreshWorker`` from the engine's point of view (same ``submit`` /
+``poll`` / ``take`` / ``discard`` / ``handle`` surface), so
+:class:`~repro.streaming.engine.StreamingDetector` code is identical in
+both modes.  Pass ``coordinator=`` to the detector (or to
+:func:`~repro.streaming.multi.shared_fleet`) together with
+``refresh_mode="async"``.
+
+Every admission decision is counted (:meth:`RefreshCoordinator.stats`);
+:func:`repro.metrics.events.fleet_refresh_report` renders the counters
+as a report next to the accuracy metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.ensemble import TrainingCancelled
+from .worker import REFIRE_POLICIES, RefreshHandle, _BuildConsumer
+
+ADMISSION_POLICIES = ("fifo", "priority")
+
+
+class AdmissionClosed(RuntimeError):
+    """Raised by ``submit`` once the coordinator is shut down.
+
+    The engine catches this and parks the refresh request as pending
+    (shutdown can interleave between its ``accepting`` check and the
+    submit), so a serving thread never fails on a closing fleet; direct
+    callers see the error.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class CoordinatorStats:
+    """Cumulative admission counters of one :class:`RefreshCoordinator`.
+
+    ``n_requests`` counts stream-level submissions; ``n_deduped`` of them
+    joined an existing build instead of spawning one, so
+    ``n_requests - n_deduped`` distinct builds were enqueued.  A build
+    ends in exactly one of ``n_completed`` / ``n_failed`` /
+    ``n_cancelled``.  ``max_concurrent`` is the peak number of builds
+    that ever ran at once — bounded by ``max_concurrent_builds`` by
+    construction.  Derived views (dedup ratio, builds saved, cap
+    adherence) live on :func:`repro.metrics.events.fleet_refresh_report`.
+    """
+    n_requests: int
+    n_deduped: int
+    n_admitted: int
+    n_completed: int
+    n_failed: int
+    n_cancelled: int
+    n_queued: int
+    n_running: int
+    max_concurrent: int
+
+
+class _CoordinatedBuild:
+    """One distinct admitted build and its subscriber fan-out list.
+
+    Internal to the coordinator; streams only ever see their own
+    per-subscription :class:`~repro.streaming.worker.RefreshHandle`.
+    """
+
+    def __init__(self, ensemble, history: np.ndarray, refresher,
+                 trigger_index: int, generation: int, priority: int,
+                 seq: int):
+        self.ensemble = ensemble            # identity is the dedup key
+        self.history = history
+        self.refresher = refresher          # the leader's policy object
+        self.trigger_index = trigger_index
+        self.generation = generation
+        self.priority = priority
+        self.seq = seq
+        self.status = "queued"              # -> building -> ready/failed/
+        #                                        cancelled
+        self.cancel = threading.Event()
+        self.subscribers: List[RefreshHandle] = []
+
+    @property
+    def joinable(self) -> bool:
+        """Whether a new submission may still subscribe to this build.
+
+        A build whose cancel flag is already set is doomed even while
+        its status still reads ``building`` (the thread just has not
+        observed the flag yet) — joining it would discard the new
+        request without ever answering its drift.
+        """
+        return self.status in ("queued", "building") \
+            and not self.cancel.is_set()
+
+
+class CoordinatedRefreshClient(_BuildConsumer):
+    """One stream's port into a shared :class:`RefreshCoordinator`.
+
+    Shares the per-stream surface of
+    :class:`~repro.streaming.worker.RefreshWorker` (``submit`` / ``poll``
+    / ``take`` / ``discard`` / ``handle`` / ``busy`` / ``refresher`` /
+    ``on_refire`` — the lifecycle accessors come from the common
+    :class:`~repro.streaming.worker._BuildConsumer` base), so the engine
+    drives both the same way.  The difference is behind ``submit``:
+    instead of spawning a private thread, the request goes through
+    fleet-wide admission — it may queue behind the concurrency cap, or
+    join (dedup) an existing build for the same shared ensemble.
+    """
+
+    def __init__(self, coordinator: "RefreshCoordinator", refresher,
+                 on_refire: str = "queue", priority: int = 0):
+        if on_refire not in REFIRE_POLICIES:
+            raise ValueError(f"on_refire must be one of {REFIRE_POLICIES}, "
+                             f"got {on_refire!r}")
+        self.coordinator = coordinator
+        self.refresher = refresher
+        self.on_refire = on_refire
+        self.priority = int(priority)
+        self._handle: Optional[RefreshHandle] = None
+
+    @property
+    def accepting(self) -> bool:
+        """Whether admission is open.  False once the coordinator is
+        shut down: the engine then leaves refresh requests pending (for
+        a later checkpoint/restart) instead of submitting."""
+        return not self.coordinator._shutdown
+
+    def submit(self, ensemble, history: np.ndarray, trigger_index: int,
+               generation: Optional[int] = None) -> RefreshHandle:
+        """Request a replacement build for ``ensemble`` through admission.
+
+        Same contract as ``RefreshWorker.submit`` — ``history`` must be a
+        snapshot the caller will not mutate, and at most one request per
+        client may be active.  The returned handle reports ``building``
+        from submission on (even while queued: from the stream's point of
+        view the request is in flight either way) and resolves exactly
+        once.
+        """
+        if self.busy:
+            raise RuntimeError("a refresh build is already in flight; "
+                               "poll or discard it before submitting")
+        if generation is None:
+            generation = self.refresher.n_refreshes
+        handle = self.coordinator._submit(
+            self, ensemble, np.asarray(history, dtype=np.float64),
+            int(trigger_index), int(generation))
+        self._handle = handle
+        return handle
+
+    def discard(self) -> Optional[RefreshHandle]:
+        """Abandon this stream's subscription; its result never serves.
+
+        If the underlying build has other live subscribers it keeps
+        running for them; if this was the last one, the coordinator
+        cancels the build (dequeue, or cooperative stop between basic
+        models) to release the CPU.  Returns the abandoned handle.
+        """
+        handle = self._handle
+        self._handle = None
+        if handle is not None:
+            self.coordinator._unsubscribe(handle)
+        return handle
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for the active build to finish (True if it has or if
+        nothing is in flight)."""
+        handle = self._handle
+        if handle is None:
+            return True
+        return handle.done.wait(timeout)
+
+
+class RefreshCoordinator:
+    """Shared admission control for a fleet's refresh builds.
+
+    Parameters
+    ----------
+    max_concurrent_builds: hard cap on builds running at once; further
+                           admitted builds wait in the queue.
+    policy:                ``"fifo"`` (submission order) or
+                           ``"priority"`` (highest client priority first,
+                           FIFO among equals).
+
+    ``on_build_start`` / ``on_build_done`` are optional callbacks invoked
+    *on the build thread* with the internal build record — event hooks
+    for deterministic concurrency tests and production telemetry, the
+    fleet-level analogue of ``RefreshWorker``'s hooks.  A raising start
+    hook fails the build (never wedges it).
+
+    Configuration and counters are cheap to inspect and round-trip
+    through fleet checkpoints:
+
+    >>> coordinator = RefreshCoordinator(max_concurrent_builds=2,
+    ...                                  policy="priority")
+    >>> coordinator.stats().n_requests
+    0
+    >>> state = coordinator.state_dict()
+    >>> state["max_concurrent_builds"]
+    2
+    >>> RefreshCoordinator.from_state(state).policy
+    'priority'
+    """
+
+    def __init__(self, max_concurrent_builds: int = 1,
+                 policy: str = "fifo"):
+        if max_concurrent_builds < 1:
+            raise ValueError(f"max_concurrent_builds must be >= 1, "
+                             f"got {max_concurrent_builds}")
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(f"policy must be one of {ADMISSION_POLICIES}, "
+                             f"got {policy!r}")
+        self.max_concurrent_builds = int(max_concurrent_builds)
+        self.policy = policy
+        self.on_build_start: Optional[Callable] = None
+        self.on_build_done: Optional[Callable] = None
+        self._lock = threading.Lock()
+        self._queue: List[_CoordinatedBuild] = []
+        self._running: List[_CoordinatedBuild] = []
+        self._threads: List[threading.Thread] = []
+        self._seq = 0
+        self._shutdown = False
+        # Cumulative counters (survive checkpoints; see state_dict).
+        self._n_requests = 0
+        self._n_deduped = 0
+        self._n_admitted = 0
+        self._n_completed = 0
+        self._n_failed = 0
+        self._n_cancelled = 0
+        self._max_concurrent = 0
+
+    # ------------------------------------------------------------------
+    # Stream-facing API
+    # ------------------------------------------------------------------
+    def client(self, refresher, on_refire: str = "queue",
+               priority: int = 0) -> CoordinatedRefreshClient:
+        """A per-stream port (``RefreshWorker`` drop-in) into this
+        coordinator; the engine creates one lazily per attached
+        refresher."""
+        return CoordinatedRefreshClient(self, refresher,
+                                        on_refire=on_refire,
+                                        priority=priority)
+
+    @property
+    def n_queued(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def n_running(self) -> int:
+        with self._lock:
+            return len(self._running)
+
+    def stats(self) -> CoordinatorStats:
+        """A consistent snapshot of the admission counters."""
+        with self._lock:
+            return CoordinatorStats(
+                n_requests=self._n_requests,
+                n_deduped=self._n_deduped,
+                n_admitted=self._n_admitted,
+                n_completed=self._n_completed,
+                n_failed=self._n_failed,
+                n_cancelled=self._n_cancelled,
+                n_queued=len(self._queue),
+                n_running=len(self._running),
+                max_concurrent=self._max_concurrent)
+
+    def shutdown(self) -> None:
+        """Cancel every queued and running build and refuse new submits.
+
+        Queued builds are dequeued; running builds get their cancel flag
+        set and stop cooperatively before their next basic-model fit.
+        Every live subscriber handle resolves to ``discarded``; each
+        subscribed engine observes that at its next update boundary and
+        restores its refresh request as pending (so the drift stays
+        answerable across a checkpoint/restart) —
+        :meth:`StreamFleet.shutdown <repro.streaming.multi.StreamFleet.shutdown>`
+        restores them eagerly instead.  Idempotent.  Call :meth:`drain`
+        afterwards to wait for the build threads to exit.
+        """
+        with self._lock:
+            self._shutdown = True
+            abandoned = self._queue + self._running
+            self._queue = []
+            finished: List[RefreshHandle] = []
+            for build in abandoned:
+                build.cancel.set()
+                if build.status == "queued":
+                    build.status = "cancelled"
+                    self._n_cancelled += 1
+                for handle in build.subscribers:
+                    handle._resolve("discarded")
+                    if build.status == "cancelled":
+                        finished.append(handle)
+        # Queued builds never get a thread, so their handles must be
+        # released here; running builds' threads set done themselves.
+        for handle in finished:
+            handle.done.set()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for all build threads to exit (True if they all have).
+
+        ``timeout`` bounds the whole call, not each join.
+        """
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        with self._lock:
+            threads = list(self._threads)
+        drained = True
+        for thread in threads:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+            drained = drained and not thread.is_alive()
+        return drained
+
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.core.persistence.save_fleet, fleet v2)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Configuration + cumulative counters, JSON-serialisable.
+
+        Queue contents are deliberately *not* persisted: an in-flight or
+        queued build resolves at save time the same way a single
+        detector's does — the build is discarded, each subscribing
+        stream's refresh *request* is persisted as pending in its own
+        detector state, and the resumed fleet deterministically
+        re-submits (and re-dedups) from restored corpora when the gates
+        next allow.
+        """
+        with self._lock:
+            return {
+                "max_concurrent_builds": self.max_concurrent_builds,
+                "policy": self.policy,
+                "counters": {
+                    "n_requests": self._n_requests,
+                    "n_deduped": self._n_deduped,
+                    "n_admitted": self._n_admitted,
+                    "n_completed": self._n_completed,
+                    "n_failed": self._n_failed,
+                    "n_cancelled": self._n_cancelled,
+                    "max_concurrent": self._max_concurrent,
+                },
+            }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "RefreshCoordinator":
+        """Rebuild a coordinator (config + counters) from
+        :meth:`state_dict`; the queue starts empty by design."""
+        coordinator = cls(
+            max_concurrent_builds=int(state["max_concurrent_builds"]),
+            policy=str(state.get("policy", "fifo")))
+        counters = state.get("counters", {})
+        coordinator._n_requests = int(counters.get("n_requests", 0))
+        coordinator._n_deduped = int(counters.get("n_deduped", 0))
+        coordinator._n_admitted = int(counters.get("n_admitted", 0))
+        coordinator._n_completed = int(counters.get("n_completed", 0))
+        coordinator._n_failed = int(counters.get("n_failed", 0))
+        coordinator._n_cancelled = int(counters.get("n_cancelled", 0))
+        coordinator._max_concurrent = int(counters.get("max_concurrent", 0))
+        return coordinator
+
+    # ------------------------------------------------------------------
+    # Admission internals
+    # ------------------------------------------------------------------
+    def _submit(self, client: CoordinatedRefreshClient, ensemble,
+                history: np.ndarray, trigger_index: int,
+                generation: int) -> RefreshHandle:
+        handle = RefreshHandle(trigger_index, generation)
+        with self._lock:
+            if self._shutdown:
+                raise AdmissionClosed(
+                    "coordinator is shut down; no further refresh builds "
+                    "are admitted")
+            self._n_requests += 1
+            for build in self._queue + self._running:
+                # Identity dedup, the save_fleet notion of sharing: only
+                # streams scoring against the very same ensemble object
+                # would train the same replacement.
+                if build.joinable and build.ensemble is ensemble:
+                    build.subscribers.append(handle)
+                    self._n_deduped += 1
+                    return handle
+            build = _CoordinatedBuild(ensemble, history, client.refresher,
+                                      trigger_index, generation,
+                                      priority=client.priority,
+                                      seq=self._seq)
+            self._seq += 1
+            build.subscribers.append(handle)
+            self._queue.append(build)
+            self._pump_locked()
+        return handle
+
+    def _pump_locked(self) -> None:
+        """Admit queued builds while the pool has room.  Caller holds
+        the lock."""
+        while self._queue and \
+                len(self._running) < self.max_concurrent_builds:
+            if self.policy == "priority":
+                best = min(self._queue,
+                           key=lambda b: (-b.priority, b.seq))
+                self._queue.remove(best)
+            else:
+                best = self._queue.pop(0)
+            best.status = "building"
+            self._running.append(best)
+            self._n_admitted += 1
+            self._max_concurrent = max(self._max_concurrent,
+                                       len(self._running))
+            thread = threading.Thread(
+                target=self._run, args=(best,),
+                name=f"refresh-coord-{best.seq}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def _run(self, build: _CoordinatedBuild) -> None:
+        error: Optional[BaseException] = None
+        cancelled = False
+        replacement = report = None
+        try:
+            if build.cancel.is_set():
+                raise TrainingCancelled(0)
+            if self.on_build_start is not None:
+                # Inside the guard: a raising telemetry hook fails the
+                # build instead of wedging every subscriber in 'building'.
+                self.on_build_start(build)
+            replacement, report = self._call_build(build)
+        except TrainingCancelled:
+            cancelled = True
+        except Exception as exc:
+            error = exc
+        finished: List[RefreshHandle] = []
+        with self._lock:
+            if build in self._running:
+                self._running.remove(build)
+            # Long-running fleets admit builds indefinitely: drop thread
+            # records as they die (the current thread stays until a
+            # later build prunes it — one stale record, not a leak).
+            self._threads = [thread for thread in self._threads
+                             if thread.is_alive()]
+            if cancelled or build.cancel.is_set():
+                # Either fit observed the flag, or the last subscriber
+                # left after the final basic model: the result is
+                # unwanted either way.
+                build.status = "cancelled"
+                self._n_cancelled += 1
+            elif error is not None:
+                build.status = "failed"
+                self._n_failed += 1
+            else:
+                build.status = "ready"
+                self._n_completed += 1
+            # Fan-out under the lock: a concurrent submit either joined
+            # before this point (and is in the list) or sees the build
+            # as no longer joinable and starts a fresh one.
+            for handle in build.subscribers:
+                if build.status == "ready":
+                    try:
+                        # Each subscriber's report carries its own drift
+                        # trigger; duck-typed refreshers may return a
+                        # non-dataclass report, which fans out as-is.
+                        fan_report = dataclasses.replace(
+                            report, trigger_index=handle.trigger_index)
+                    except TypeError:
+                        fan_report = report
+                    handle._finish("ready", replacement=replacement,
+                                   report=fan_report)
+                elif build.status == "failed":
+                    handle._finish("failed", error=error)
+                else:
+                    handle._resolve("discarded")
+                finished.append(handle)
+            self._pump_locked()
+        try:
+            if self.on_build_done is not None:
+                self.on_build_done(build)
+        finally:
+            for handle in finished:
+                handle.done.set()      # even if the done-hook raises
+
+    def _call_build(self, build: _CoordinatedBuild):
+        """Invoke the leader's ``build``, forwarding the cancel flag when
+        the refresher supports it (duck-typed stand-ins may not)."""
+        kwargs = dict(generation=build.generation,
+                      trigger_index=build.trigger_index, mode="async")
+        try:
+            parameters = inspect.signature(
+                build.refresher.build).parameters
+            accepts_cancel = "cancel" in parameters or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters.values())
+        except (TypeError, ValueError):    # builtins, exotic callables
+            accepts_cancel = False
+        if accepts_cancel:
+            kwargs["cancel"] = build.cancel
+        return build.refresher.build(build.ensemble, build.history,
+                                     build.trigger_index, **kwargs)
+
+    def _unsubscribe(self, handle: RefreshHandle) -> None:
+        """Drop one subscription; cancel the build if it was the last."""
+        release: List[RefreshHandle] = []
+        with self._lock:
+            handle._resolve("discarded")
+            for build in self._queue + self._running:
+                if handle in build.subscribers:
+                    live = [h for h in build.subscribers
+                            if h.status == "building"]
+                    if not live:
+                        build.cancel.set()
+                        if build.status == "queued":
+                            build.status = "cancelled"
+                            self._queue.remove(build)
+                            self._n_cancelled += 1
+                            release = list(build.subscribers)
+                    break
+        # A dequeued build never gets a thread, so its handles must be
+        # released here; a running build's thread sets done itself.
+        for waiter in release:
+            waiter.done.set()

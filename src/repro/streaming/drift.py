@@ -55,7 +55,16 @@ class DriftEvent:
 
 
 class DDMDrift:
-    """DDM-style control chart over real-valued reconstruction errors."""
+    """DDM-style control chart over real-valued reconstruction errors.
+
+    >>> detector = DDMDrift(min_samples=10)
+    >>> quiet = [detector.update(1.0, i) for i in range(10)]
+    >>> any(event is not None for event in quiet)
+    False
+    >>> event = detector.update(5.0, 10)   # sustained error jump
+    >>> event.kind, event.index
+    ('drift', 10)
+    """
 
     kind = "ddm"
 

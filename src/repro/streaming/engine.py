@@ -47,6 +47,7 @@ from ..core.ensemble import CAEEnsemble
 from ..datasets.windows import sliding_windows
 from .buffer import HistoryBuffer, SlidingWindow, history_buffer_from_state
 from .calibration import calibrator_from_state
+from .coordinator import AdmissionClosed
 from .drift import DriftEvent, drift_detector_from_state
 from .refresh import RefreshReport
 from .worker import REFIRE_POLICIES, RefreshWorker
@@ -78,6 +79,28 @@ class StreamUpdate:
 class StreamingDetector:
     """Online outlier detection with drift-aware model refresh.
 
+    A minimal end-to-end run (tiny ensemble, tiny budget):
+
+    >>> import numpy as np
+    >>> from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig
+    >>> series = np.sin(np.arange(200.0) / 9.0)[:, None]
+    >>> ensemble = CAEEnsemble(
+    ...     CAEConfig(input_dim=1, embed_dim=4, window=8, n_layers=1),
+    ...     EnsembleConfig(n_models=1, epochs_per_model=1, seed=0,
+    ...                    max_training_windows=32)).fit(series)
+    >>> from repro.streaming import BurnInMAD
+    >>> detector = StreamingDetector(ensemble,
+    ...                              calibrator=BurnInMAD(16, 8.0),
+    ...                              history=64)
+    >>> detector.warm_up(series[-7:])      # window-1 rows of context
+    >>> updates = detector.update_batch(series[:20])
+    >>> detector.n_observations
+    20
+    >>> all(update.score is not None for update in updates)
+    True
+    >>> detector.threshold is not None     # calibrated after burn-in
+    True
+
     Parameters
     ----------
     ensemble:        a *fitted* CAE-Ensemble (scored read-only, so many
@@ -101,12 +124,22 @@ class StreamingDetector:
                      refresher's corpus settings (checkpoint resume
                      passes the deserialized buffer here; ``history`` is
                      then ignored).
+    coordinator:     a fleet-shared
+                     :class:`~repro.streaming.coordinator.RefreshCoordinator`
+                     through which async builds are admitted (bounded
+                     concurrency, dedup across streams sharing this
+                     ensemble) instead of each detector spawning its own
+                     worker thread.  Requires ``refresh_mode="async"``.
+    refresh_priority: admission priority of this stream's builds under a
+                     coordinator's ``"priority"`` policy (higher runs
+                     first; ignored without a coordinator).
     """
 
     def __init__(self, ensemble: CAEEnsemble, calibrator=None,
                  drift_detector=None, refresher=None, history: int = 2048,
                  refresh_mode: str = "inline",
-                 refresh_refire: str = "queue", history_buffer=None):
+                 refresh_refire: str = "queue", history_buffer=None,
+                 coordinator=None, refresh_priority: int = 0):
         if not ensemble.models:
             raise ValueError("StreamingDetector needs a fitted ensemble")
         if refresh_mode not in REFRESH_MODES:
@@ -115,6 +148,11 @@ class StreamingDetector:
         if refresh_refire not in REFIRE_POLICIES:
             raise ValueError(f"refresh_refire must be one of "
                              f"{REFIRE_POLICIES}, got {refresh_refire!r}")
+        if coordinator is not None and refresh_mode != "async":
+            raise ValueError("a RefreshCoordinator admits background "
+                             "builds; it requires refresh_mode='async'")
+        self.coordinator = coordinator
+        self.refresh_priority = int(refresh_priority)
         self.ensemble = ensemble
         self.calibrator = calibrator
         self.drift_detector = drift_detector
@@ -243,8 +281,11 @@ class StreamingDetector:
         return len(self._history)
 
     @property
-    def refresh_worker(self) -> Optional[RefreshWorker]:
-        """The async build worker (created on first async submit)."""
+    def refresh_worker(self):
+        """The async build executor (created on first async submit): a
+        private :class:`~repro.streaming.worker.RefreshWorker`, or a
+        :class:`~repro.streaming.coordinator.CoordinatedRefreshClient`
+        when a fleet coordinator owns admission."""
         return self._worker
 
     @property
@@ -417,14 +458,30 @@ class StreamingDetector:
             return True
         if self._worker is None or self._worker.refresher \
                 is not self._refresher:
-            self._worker = RefreshWorker(self._refresher,
-                                         on_refire=self.refresh_refire)
+            if self.coordinator is not None:
+                self._worker = self.coordinator.client(
+                    self._refresher, on_refire=self.refresh_refire,
+                    priority=self.refresh_priority)
+            else:
+                self._worker = RefreshWorker(self._refresher,
+                                             on_refire=self.refresh_refire)
+        if not getattr(self._worker, "accepting", True):
+            # Admission is closed (coordinator shut down): the request
+            # stays pending — it survives a checkpoint and re-submits
+            # after a restart — rather than failing the serving thread.
+            return False
         if self._worker.busy:
             # queue policy: the pending trigger waits for the in-flight
             # build to swap before a follow-up build may start.
             return False
-        self._worker.submit(self.ensemble, self._history.to_array(),
-                            trigger_index=trigger, generation=generation)
+        try:
+            self._worker.submit(self.ensemble, self._history.to_array(),
+                                trigger_index=trigger,
+                                generation=generation)
+        except AdmissionClosed:
+            # Shutdown raced our accepting check: park the request (the
+            # flags were never cleared), same as a closed gate.
+            return False
         self._pending_refresh = False
         self._pending_trigger_index = None
         return False
@@ -456,6 +513,13 @@ class StreamingDetector:
             return False
         handle = self._worker.take()
         if handle is None:
+            return False
+        if handle.status == "discarded":
+            # Someone else abandoned the build (a coordinator shutdown
+            # cancels every subscriber): the drift is still unanswered,
+            # so the request is restored — the same resolution as an
+            # engine-initiated discard — and survives checkpoints.
+            self._restore_request(handle.trigger_index)
             return False
         if handle.status == "failed":
             # The drift is still unanswered: restore the request (the
@@ -502,10 +566,11 @@ class StreamingDetector:
         object itself cannot be persisted; a live detector would instead
         raise it at its next boundary).
         """
-        handle = self.pending_refresh
-        in_flight = handle is not None and handle.status in ("building",
-                                                             "ready",
-                                                             "failed")
+        handle = self._worker.attached_handle \
+            if self._worker is not None else None
+        # Any unconsumed handle — including one externally discarded by
+        # a coordinator shutdown — means the drift is still unanswered.
+        in_flight = handle is not None and handle.status != "swapped"
         pending_trigger = self._pending_trigger_index
         if in_flight and pending_trigger is None:
             pending_trigger = handle.trigger_index
@@ -516,6 +581,7 @@ class StreamingDetector:
             "announce_refresh": bool(self._announce_refresh),
             "refresh_mode": self.refresh_mode,
             "refresh_refire": self.refresh_refire,
+            "refresh_priority": self.refresh_priority,
             "history_capacity": self._history.capacity,
             "window": self._window.state_dict(),
             "history": self._history.state_dict(),
@@ -533,7 +599,7 @@ class StreamingDetector:
 
     @classmethod
     def from_state(cls, ensemble: CAEEnsemble, state: Dict[str, object],
-                   refresher=None) -> "StreamingDetector":
+                   refresher=None, coordinator=None) -> "StreamingDetector":
         """Rebuild a live detector from :meth:`state_dict`.
 
         The refresher holds policy, not stream state, so it is passed in
@@ -543,10 +609,13 @@ class StreamingDetector:
         *corpus*, however, is stream state: the saved buffer (kind and
         contents) always wins over the refresher's ``corpus`` setting —
         a mismatch warns, because silently rebuilding the corpus would
-        discard the retained history.
+        discard the retained history.  ``coordinator`` (policy, like the
+        refresher) re-attaches the resumed detector to a fleet-shared
+        admission queue; it only applies to async-mode states.
         """
         calibrator_state = state.get("calibrator")
         drift_state = state.get("drift_detector")
+        refresh_mode = str(state.get("refresh_mode", "inline"))
         detector = cls(
             ensemble,
             calibrator=calibrator_from_state(calibrator_state)
@@ -554,9 +623,11 @@ class StreamingDetector:
             drift_detector=drift_detector_from_state(drift_state)
             if drift_state is not None else None,
             refresher=refresher,
-            refresh_mode=str(state.get("refresh_mode", "inline")),
+            refresh_mode=refresh_mode,
             refresh_refire=str(state.get("refresh_refire", "queue")),
-            history_buffer=history_buffer_from_state(state["history"]))
+            history_buffer=history_buffer_from_state(state["history"]),
+            coordinator=coordinator if refresh_mode == "async" else None,
+            refresh_priority=int(state.get("refresh_priority", 0)))
         detector._window.load_state_dict(state["window"])
         detector._index = int(state["index"])
         detector._pending_refresh = bool(state.get("pending_refresh",

@@ -41,18 +41,45 @@ class StreamStats:
 class StreamFleet:
     """Named streams sharded over factory-created detectors.
 
+    >>> import numpy as np
+    >>> from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig
+    >>> series = np.sin(np.arange(200.0) / 9.0)[:, None]
+    >>> ensemble = CAEEnsemble(
+    ...     CAEConfig(input_dim=1, embed_dim=4, window=8, n_layers=1),
+    ...     EnsembleConfig(n_models=1, epochs_per_model=1, seed=0,
+    ...                    max_training_windows=32)).fit(series)
+    >>> fleet = shared_fleet(ensemble, history=64)
+    >>> _ = fleet.update_batch("server-1", series[:40])   # lazily created
+    >>> _ = fleet.update_batch("server-2", series[:10])
+    >>> fleet.names
+    ['server-1', 'server-2']
+    >>> fleet.total_observations
+    50
+    >>> [stat.n_observations for stat in fleet.stats()]
+    [40, 10]
+
     Parameters
     ----------
     detector_factory: called with the stream name on first sight of that
                       name; returns the :class:`StreamingDetector` that
                       will own the stream.  Factories typically close over
                       one shared fitted ensemble.
+    coordinator:      the fleet's shared
+                      :class:`~repro.streaming.coordinator.RefreshCoordinator`,
+                      if refresh builds go through admission control.
+                      The fleet does not wire it into detectors itself —
+                      the factory closes over it (``shared_fleet`` does
+                      this) — but owning the reference lets
+                      :meth:`stats`-style reporting, :meth:`shutdown` and
+                      fleet checkpoints reach it.
     """
 
     def __init__(self,
-                 detector_factory: Callable[[str], StreamingDetector]):
+                 detector_factory: Callable[[str], StreamingDetector],
+                 coordinator=None):
         self._factory = detector_factory
         self._detectors: Dict[str, StreamingDetector] = {}
+        self.coordinator = coordinator
 
     def __len__(self) -> int:
         return len(self._detectors)
@@ -90,6 +117,34 @@ class StreamFleet:
     def warm_up(self, name: str, series: np.ndarray) -> None:
         self.detector(name).warm_up(series)
 
+    def shutdown(self) -> None:
+        """Stop the fleet's background refresh activity.
+
+        Each detector's in-flight build request is discarded (the handle
+        resolves to ``discarded``; the serving ensemble keeps serving)
+        and the shared coordinator, if any, cancels every queued and
+        running build — cancelled builds release their CPU before
+        fitting another basic model.  Scoring remains possible; only
+        refresh admission stops.
+        """
+        from .worker import RefreshWorker
+        for detector in self._detectors.values():
+            worker = detector.refresh_worker
+            if worker is not None:
+                abandoned = worker.discard()
+                if abandoned is not None:
+                    # Keep the drift answerable: the request survives the
+                    # abandoned build, exactly as checkpointing mid-build
+                    # would record it.
+                    detector._restore_request(abandoned.trigger_index)
+                if isinstance(worker, RefreshWorker):
+                    # Private workers have no shared queue to close:
+                    # gate each one, or the restored request would just
+                    # relaunch a build at the next update.
+                    worker.accepting = False
+        if self.coordinator is not None:
+            self.coordinator.shutdown()
+
     # ------------------------------------------------------------------
     # Checkpointing (see repro.core.persistence: save_fleet / load_fleet)
     # ------------------------------------------------------------------
@@ -98,18 +153,23 @@ class StreamFleet:
 
         Ensembles are weights, not stream state — persist them separately
         (:func:`repro.core.persistence.save_fleet` stores each distinct
-        ensemble once, however many streams share it).
+        ensemble once, however many streams share it).  The shared
+        coordinator's configuration and admission counters ride along;
+        its queue does not (in-flight builds resolve to per-stream
+        pending requests, which live in each detector's state).
         """
         return {"streams": {name: self._detectors[name].state_dict()
-                            for name in self.names}}
+                            for name in self.names},
+                "coordinator": self.coordinator.state_dict()
+                if self.coordinator is not None else None}
 
     @classmethod
     def from_state(cls, state: Dict[str, object],
                    ensemble_for: Callable[[str], CAEEnsemble],
                    refresher_factory: Optional[Callable[[], object]] = None,
                    detector_factory: Optional[
-                       Callable[[str], StreamingDetector]] = None
-                   ) -> "StreamFleet":
+                       Callable[[str], StreamingDetector]] = None,
+                   coordinator=None) -> "StreamFleet":
         """Rebuild a fleet from :meth:`state_dict`.
 
         Parameters
@@ -123,14 +183,35 @@ class StreamFleet:
                            :meth:`StreamingDetector.from_state`).
         detector_factory:  factory for streams first seen *after* the
                            resume; without one, unknown names raise.
+        coordinator:       admission control for the resumed fleet; when
+                           None and the state carries a coordinator
+                           entry, one is rebuilt from it
+                           (configuration + counters, empty queue).
         """
-        fleet = cls(detector_factory if detector_factory is not None
-                    else _reject_new_streams)
+        coordinator_state = state.get("coordinator")
+        if coordinator is None and coordinator_state is not None:
+            from .coordinator import RefreshCoordinator
+            coordinator = RefreshCoordinator.from_state(coordinator_state)
+        factory = detector_factory if detector_factory is not None \
+            else _reject_new_streams
+        if detector_factory is not None and coordinator is not None:
+            # The caller's factory predates the rebuilt coordinator and
+            # cannot close over it: inject it, so streams first seen
+            # after the resume share the fleet's admission queue instead
+            # of spawning private, uncapped workers.
+            def factory(name, _inner=detector_factory):
+                detector = _inner(name)
+                if detector.coordinator is None and \
+                        detector.refresh_mode == "async":
+                    detector.coordinator = coordinator
+                return detector
+        fleet = cls(factory, coordinator=coordinator)
         for name, detector_state in state["streams"].items():
             fleet._detectors[name] = StreamingDetector.from_state(
                 ensemble_for(name), detector_state,
                 refresher=refresher_factory()
-                if refresher_factory is not None else None)
+                if refresher_factory is not None else None,
+                coordinator=coordinator)
         return fleet
 
     # ------------------------------------------------------------------
@@ -169,7 +250,10 @@ def shared_fleet(ensemble: CAEEnsemble,
                  drift_factory: Optional[Callable[[], object]] = None,
                  refresher_factory: Optional[Callable[[], object]] = None,
                  history: int = 2048, refresh_mode: str = "inline",
-                 refresh_refire: str = "queue") -> StreamFleet:
+                 refresh_refire: str = "queue", coordinator=None,
+                 max_concurrent_builds: Optional[int] = None,
+                 priority_for: Optional[Callable[[str], int]] = None
+                 ) -> StreamFleet:
     """A fleet whose streams all score against one shared ensemble.
 
     Each stream still gets its own calibrator / drift detector /
@@ -177,8 +261,27 @@ def shared_fleet(ensemble: CAEEnsemble,
     per-stream refresh replaces only that stream's serving ensemble —
     other streams keep the shared original.  ``refresh_mode="async"``
     keeps every stream's scoring latency flat while its replacement
-    trains in the background (each detector owns its worker thread).
+    trains in the background: each detector owns a private worker
+    thread, *unless* admission control is requested — pass a
+    ``coordinator`` (or just ``max_concurrent_builds``, which builds a
+    FIFO :class:`~repro.streaming.coordinator.RefreshCoordinator`) and
+    all streams' builds share one bounded, deduplicating queue, so K
+    streams co-drifting on this shared ensemble cost **one** build
+    fanned out to all K.  ``priority_for`` maps a stream name to its
+    admission priority (used by a ``policy="priority"`` coordinator).
     """
+    if max_concurrent_builds is not None:
+        if coordinator is not None:
+            raise ValueError("pass either coordinator or "
+                             "max_concurrent_builds, not both")
+        from .coordinator import RefreshCoordinator
+        coordinator = RefreshCoordinator(max_concurrent_builds)
+    if coordinator is not None and refresh_mode != "async":
+        # Fail at the misconfiguration site, not at first stream use.
+        raise ValueError("admission control applies to background "
+                         "builds; pass refresh_mode='async' alongside "
+                         "coordinator/max_concurrent_builds")
+
     def factory(name: str) -> StreamingDetector:
         return StreamingDetector(
             ensemble,
@@ -186,5 +289,6 @@ def shared_fleet(ensemble: CAEEnsemble,
             drift_detector=drift_factory() if drift_factory else None,
             refresher=refresher_factory() if refresher_factory else None,
             history=history, refresh_mode=refresh_mode,
-            refresh_refire=refresh_refire)
-    return StreamFleet(factory)
+            refresh_refire=refresh_refire, coordinator=coordinator,
+            refresh_priority=priority_for(name) if priority_for else 0)
+    return StreamFleet(factory, coordinator=coordinator)

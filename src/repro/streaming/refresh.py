@@ -51,6 +51,16 @@ class RefreshReport:
     when the refresh ran inline with its gates already open; an inline
     refresh deferred by the history/cooldown gates lags by the deferral,
     an async refresh additionally by its background build time.
+
+    >>> report = RefreshReport(index=240, history_length=512,
+    ...                        train_seconds=3.2,
+    ...                        warm_start_fraction=0.3,
+    ...                        copied_fraction=0.29,
+    ...                        trigger_index=200, mode="async")
+    >>> report.swap_lag                    # 40 arrivals of staleness
+    40
+    >>> report.warm_started
+    True
     """
     index: int
     history_length: int
@@ -105,6 +115,22 @@ class EnsembleRefresher:
     corpus_seed:         seed of the reservoirs' per-block generators.
     corpus_decay:        per-block retention decay of the decayed
                          reservoir.
+
+    The gates alone are cheap to exercise:
+
+    >>> refresher = EnsembleRefresher(min_history=100, cooldown=50)
+    >>> refresher.ready(history_length=50, index=0)    # history gate
+    False
+    >>> refresher.ready(history_length=100, index=0)
+    True
+    >>> refresher.commit(RefreshReport(index=240, history_length=100,
+    ...                                train_seconds=1.0,
+    ...                                warm_start_fraction=0.3,
+    ...                                copied_fraction=0.3))
+    >>> refresher.ready(history_length=500, index=250)  # cooldown gate
+    False
+    >>> refresher.ready(history_length=500, index=300)
+    True
     """
 
     def __init__(self, min_history: Optional[int] = None, cooldown: int = 0,
@@ -181,7 +207,8 @@ class EnsembleRefresher:
     def build(self, ensemble: CAEEnsemble, history: np.ndarray, index: int,
               generation: Optional[int] = None,
               trigger_index: Optional[int] = None,
-              mode: str = "inline") -> Tuple[CAEEnsemble, RefreshReport]:
+              mode: str = "inline",
+              cancel=None) -> Tuple[CAEEnsemble, RefreshReport]:
         """Build a warm-started replacement trained on ``history``.
 
         Pure with respect to the refresher: no reports are recorded and
@@ -194,6 +221,14 @@ class EnsembleRefresher:
         the number of committed refreshes, which an async caller must
         capture at submit time so a build's seed does not depend on when
         it finishes.
+
+        ``cancel`` is a cooperative-cancellation flag (``is_set()``
+        duck-type) forwarded to :meth:`CAEEnsemble.fit`: a superseded or
+        abandoned build raises
+        :class:`~repro.core.ensemble.TrainingCancelled` before fitting
+        its next basic model instead of training to completion
+        (:mod:`repro.streaming.coordinator` sets it when a build loses
+        its last subscriber).
         """
         history = np.asarray(history, dtype=np.float64)
         window = ensemble.cae_config.window
@@ -209,7 +244,7 @@ class EnsembleRefresher:
         config = dataclasses.replace(ensemble.config, **overrides)
         replacement = CAEEnsemble(ensemble.cae_config, config)
         replacement.fit(history, warm_start=ensemble.models,
-                        warm_start_fraction=beta)
+                        warm_start_fraction=beta, cancel=cancel)
         copied = sum(r.copied_parameters for r in replacement.transfer_reports)
         total = sum(r.total_parameters for r in replacement.transfer_reports)
         report = RefreshReport(index=index,

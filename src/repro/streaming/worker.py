@@ -105,7 +105,66 @@ class RefreshHandle:
         return True
 
 
-class RefreshWorker:
+class _BuildConsumer:
+    """Shared per-stream handle lifecycle of the engine's build
+    executors (:class:`RefreshWorker` and the coordinator's
+    :class:`~repro.streaming.coordinator.CoordinatedRefreshClient`).
+
+    The engine duck-types against this exact surface, so it lives in
+    one place: ``handle``/``busy`` expose the active request,
+    ``poll``/``take`` hand over the handle once its build resolved —
+    including a handle another actor discarded (e.g. a coordinator
+    shutdown), which the engine turns back into a pending request.
+    """
+
+    _handle: Optional[RefreshHandle] = None
+
+    @property
+    def handle(self) -> Optional[RefreshHandle]:
+        """The active (in-flight or finished-unconsumed) handle, if any."""
+        handle = self._handle
+        if handle is not None and handle.status in ("building", "ready",
+                                                    "failed"):
+            return handle
+        return None
+
+    @property
+    def attached_handle(self) -> Optional[RefreshHandle]:
+        """The handle regardless of status — includes one another actor
+        resolved to ``discarded`` (coordinator shutdown) that this
+        consumer has not observed yet.  Any attached handle means the
+        stream's refresh request is still unanswered; the engine's
+        ``state_dict`` persists it as pending."""
+        return self._handle
+
+    @property
+    def busy(self) -> bool:
+        """Whether a build is in flight or awaiting its boundary swap."""
+        return self.handle is not None
+
+    def poll(self) -> Optional[RefreshHandle]:
+        """The attached handle once its build has resolved, else None.
+
+        Non-blocking; the handle stays attached until :meth:`take` or
+        :meth:`discard` consumes it.  A handle resolved *by someone
+        else* (discarded by a coordinator shutdown) is still returned,
+        so the engine can observe the abandonment at its next boundary.
+        """
+        handle = self._handle
+        if handle is not None and handle.done.is_set():
+            return handle
+        return None
+
+    def take(self) -> Optional[RefreshHandle]:
+        """Detach and return the resolved handle, if any — the engine's
+        boundary-swap entry point."""
+        handle = self.poll()
+        if handle is not None:
+            self._handle = None
+        return handle
+
+
+class RefreshWorker(_BuildConsumer):
     """Runs refresh builds on a background thread, one at a time.
 
     Parameters
@@ -119,6 +178,25 @@ class RefreshWorker:
     ``on_build_start`` / ``on_build_done`` are optional callbacks invoked
     *on the worker thread* with the handle — event hooks for deterministic
     concurrency tests and production telemetry.
+
+    The lifecycle, with an instant duck-typed refresher:
+
+    >>> import numpy as np
+    >>> class InstantRefresher:
+    ...     n_refreshes = 0
+    ...     def build(self, ensemble, history, index, **kwargs):
+    ...         return "replacement", "report"
+    >>> worker = RefreshWorker(InstantRefresher())
+    >>> handle = worker.submit("serving", np.zeros((4, 1)),
+    ...                        trigger_index=7)
+    >>> handle.wait(30.0)                  # build finished ...
+    True
+    >>> handle.ready, handle.replacement
+    (True, 'replacement')
+    >>> worker.take() is handle            # ... engine adopts it at a
+    True
+    >>> worker.busy                        #     boundary; worker is free
+    False
     """
 
     def __init__(self, refresher, on_refire: str = "queue"):
@@ -127,24 +205,14 @@ class RefreshWorker:
                              f"got {on_refire!r}")
         self.refresher = refresher
         self.on_refire = on_refire
+        # Mirrors the coordinator client's admission gate: a shutting-
+        # down fleet sets it False and the engine then parks refresh
+        # requests instead of submitting new private builds.
+        self.accepting = True
         self.on_build_start: Optional[Callable] = None
         self.on_build_done: Optional[Callable] = None
         self._handle: Optional[RefreshHandle] = None
         self._thread: Optional[threading.Thread] = None
-
-    @property
-    def handle(self) -> Optional[RefreshHandle]:
-        """The active (building or ready-but-unswapped) handle, if any."""
-        handle = self._handle
-        if handle is not None and handle.status in ("building", "ready",
-                                                    "failed"):
-            return handle
-        return None
-
-    @property
-    def busy(self) -> bool:
-        """Whether a build is in flight or awaiting its boundary swap."""
-        return self.handle is not None
 
     def submit(self, ensemble, history: np.ndarray, trigger_index: int,
                generation: Optional[int] = None) -> RefreshHandle:
@@ -192,25 +260,6 @@ class RefreshWorker:
                 self.on_build_done(handle)
         finally:
             handle.done.set()          # even if the done-hook raises
-
-    def poll(self) -> Optional[RefreshHandle]:
-        """The active handle once its build has finished, else None.
-
-        Non-blocking; the handle stays active until :meth:`take` or
-        :meth:`discard` consumes it.
-        """
-        handle = self.handle
-        if handle is not None and handle.done.is_set():
-            return handle
-        return None
-
-    def take(self) -> Optional[RefreshHandle]:
-        """Detach and return the finished handle (ready or failed), if
-        any — the engine's boundary-swap entry point."""
-        handle = self.poll()
-        if handle is not None:
-            self._handle = None
-        return handle
 
     def discard(self) -> Optional[RefreshHandle]:
         """Abandon the active build, if any; its result will never serve.

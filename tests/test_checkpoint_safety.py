@@ -1,0 +1,218 @@
+"""Crash-safe checkpointing: a mid-save crash never corrupts the
+previous checkpoint.
+
+Saves go to a temporary sibling directory, a ``checkpoint.json``
+manifest is written last, and the directory is atomically renamed into
+place (old checkpoint moved aside first, deleted last).  These tests
+simulate every crash window — mid-write, between the two renames, after
+publishing — and assert the loaders always see a complete checkpoint.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (load_ensemble, load_fleet,
+                        load_streaming_detector, save_ensemble,
+                        save_fleet, save_streaming_detector,
+                        verify_checkpoint)
+from repro.core.persistence import (CHECKPOINT_MANIFEST_NAME,
+                                    _SAVING_SUFFIX, _STALE_SUFFIX)
+from repro.streaming import BurnInMAD, StreamingDetector, shared_fleet
+from tests.conftest import sine_regime
+
+
+@pytest.fixture
+def probe():
+    return sine_regime(64, start=500)
+
+
+def scores_of(ensemble, probe):
+    return ensemble.score(probe)
+
+
+class TestAtomicEnsembleSaves:
+    def test_manifest_lists_every_file(self, stream_ensemble, tmp_path):
+        target = tmp_path / "ens"
+        save_ensemble(stream_ensemble, str(target))
+        manifest = json.loads(
+            (target / CHECKPOINT_MANIFEST_NAME).read_text())
+        assert manifest["kind"] == "ensemble"
+        assert "manifest.json" in manifest["files"]
+        assert any(name.startswith("model_")
+                   for name in manifest["files"])
+        assert verify_checkpoint(str(target))
+
+    def test_verify_detects_torn_checkpoints(self, stream_ensemble,
+                                             tmp_path):
+        target = tmp_path / "ens"
+        save_ensemble(stream_ensemble, str(target))
+        os.remove(target / "model_0.npz")
+        assert not verify_checkpoint(str(target))
+        assert not verify_checkpoint(str(tmp_path / "nowhere"))
+
+    def test_verify_returns_false_on_a_corrupt_manifest(
+            self, stream_ensemble, tmp_path):
+        """A truncated/garbled manifest is exactly the damage the
+        checker exists to detect — it must report False, not raise."""
+        target = tmp_path / "ens"
+        save_ensemble(stream_ensemble, str(target))
+        (target / CHECKPOINT_MANIFEST_NAME).write_text('{"files": [')
+        assert not verify_checkpoint(str(target))
+        (target / CHECKPOINT_MANIFEST_NAME).write_text('"not a dict"')
+        assert not verify_checkpoint(str(target))
+
+    def test_resave_replaces_atomically(self, stream_ensemble, tmp_path,
+                                        probe):
+        target = tmp_path / "ens"
+        save_ensemble(stream_ensemble, str(target))
+        save_ensemble(stream_ensemble, str(target))    # overwrite in place
+        assert not (tmp_path / ("ens" + _SAVING_SUFFIX)).exists()
+        assert not (tmp_path / ("ens" + _STALE_SUFFIX)).exists()
+        np.testing.assert_array_equal(
+            scores_of(load_ensemble(str(target)), probe),
+            scores_of(stream_ensemble, probe))
+
+    def test_crash_mid_write_keeps_previous_checkpoint(
+            self, stream_ensemble, tmp_path, probe):
+        """A save that dies while writing its temp directory leaves the
+        published checkpoint untouched and loadable."""
+        target = tmp_path / "ens"
+        save_ensemble(stream_ensemble, str(target))
+        before = scores_of(load_ensemble(str(target)), probe)
+
+        class Unsaveable:                      # blows up mid-write
+            models = ["x"]
+
+        with pytest.raises(AttributeError):
+            save_ensemble(Unsaveable(), str(target))
+        np.testing.assert_array_equal(
+            scores_of(load_ensemble(str(target)), probe), before)
+
+    def test_crash_between_renames_is_recovered(self, stream_ensemble,
+                                                tmp_path, probe):
+        """Crash window: old checkpoint moved to .stale, new one not yet
+        renamed in.  The loader transparently rolls back."""
+        target = tmp_path / "ens"
+        save_ensemble(stream_ensemble, str(target))
+        before = scores_of(load_ensemble(str(target)), probe)
+        os.rename(target, str(target) + _STALE_SUFFIX)   # simulate crash
+        assert not target.exists()
+        # verify_checkpoint mirrors the loaders: recover, then check.
+        assert verify_checkpoint(str(target))
+        assert target.exists()                 # recovered in place
+        np.testing.assert_array_equal(
+            scores_of(load_ensemble(str(target)), probe), before)
+        assert not (tmp_path / ("ens" + _STALE_SUFFIX)).exists()
+
+    def test_refuses_to_replace_a_non_checkpoint_directory(
+            self, stream_ensemble, tmp_path):
+        """Saves atomically replace the whole target directory, so a
+        populated directory that is not a checkpoint must be refused —
+        never silently deleted."""
+        target = tmp_path / "outputs"
+        target.mkdir()
+        (target / "important.log").write_text("do not delete")
+        with pytest.raises(ValueError, match="refusing to replace"):
+            save_ensemble(stream_ensemble, str(target))
+        assert (target / "important.log").read_text() == "do not delete"
+        # An empty pre-existing directory is fine ...
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        save_ensemble(stream_ensemble, str(empty))
+        assert verify_checkpoint(str(empty))
+        # ... and so is overwriting a real checkpoint.
+        save_ensemble(stream_ensemble, str(empty))
+
+    def test_leftover_temp_directories_are_cleaned(self, stream_ensemble,
+                                                   tmp_path):
+        target = tmp_path / "ens"
+        torn = tmp_path / ("ens" + _SAVING_SUFFIX)
+        torn.mkdir()
+        (torn / "garbage.npz").write_bytes(b"partial write")
+        save_ensemble(stream_ensemble, str(target))
+        assert not torn.exists()
+        assert verify_checkpoint(str(target))
+
+
+class TestAtomicStreamingSaves:
+    def test_detector_checkpoint_survives_interrupted_resave(
+            self, stream_ensemble, tmp_path):
+        detector = StreamingDetector(stream_ensemble,
+                                     calibrator=BurnInMAD(20, 8.0),
+                                     history=64)
+        detector.warm_up(sine_regime(7, start=353))
+        detector.update_batch(sine_regime(40, start=360))
+        target = tmp_path / "det"
+        save_streaming_detector(detector, str(target))
+        threshold = detector.threshold
+
+        # Second save dies mid-write (unsaveable ensemble injected).
+        broken = StreamingDetector(stream_ensemble, history=64)
+
+        class Boom:
+            models = ["x"]
+        broken.ensemble = Boom()
+        with pytest.raises(AttributeError):
+            save_streaming_detector(broken, str(target))
+
+        resumed = load_streaming_detector(str(target))
+        assert resumed.threshold == threshold
+        assert resumed.n_observations == detector.n_observations
+
+    def test_detector_mid_rename_crash_recovers(self, stream_ensemble,
+                                                tmp_path):
+        detector = StreamingDetector(stream_ensemble, history=64)
+        detector.warm_up(sine_regime(7, start=353))
+        detector.update_batch(sine_regime(20, start=360))
+        target = tmp_path / "det"
+        save_streaming_detector(detector, str(target))
+        os.rename(target, str(target) + _STALE_SUFFIX)
+        resumed = load_streaming_detector(str(target))
+        assert resumed.n_observations == 20
+
+
+class TestAtomicFleetSaves:
+    def make_fleet(self, stream_ensemble):
+        fleet = shared_fleet(stream_ensemble,
+                             calibrator_factory=lambda: BurnInMAD(20, 8.0),
+                             history=64)
+        for name in ("a", "b"):
+            fleet.warm_up(name, sine_regime(7, start=353))
+            fleet.update_batch(name, sine_regime(40, start=360))
+        return fleet
+
+    def test_fleet_mid_rename_crash_recovers(self, stream_ensemble,
+                                             tmp_path):
+        fleet = self.make_fleet(stream_ensemble)
+        target = tmp_path / "fleet"
+        save_fleet(fleet, str(target))
+        os.rename(target, str(target) + _STALE_SUFFIX)
+        resumed = load_fleet(str(target))
+        assert resumed.names == ["a", "b"]
+        tail = sine_regime(10, start=400)
+        assert resumed.update_batch("a", tail) == \
+            fleet.update_batch("a", tail)
+
+    def test_fleet_crash_mid_write_keeps_previous(self, stream_ensemble,
+                                                  tmp_path):
+        fleet = self.make_fleet(stream_ensemble)
+        target = tmp_path / "fleet"
+        save_fleet(fleet, str(target))
+
+        class BrokenFleet:
+            names = ["a"]
+
+            def detector(self, name):
+                raise RuntimeError("synthetic crash mid-save")
+
+        with pytest.raises(RuntimeError, match="synthetic"):
+            save_fleet(BrokenFleet(), str(target))
+        resumed = load_fleet(str(target))
+        assert resumed.names == ["a", "b"]
+        assert verify_checkpoint(str(target))
+        manifest = json.loads(
+            (target / CHECKPOINT_MANIFEST_NAME).read_text())
+        assert manifest["kind"] == "fleet"

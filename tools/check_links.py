@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in markdown files.
+
+Scans ``[text](target)`` links; targets that are not external
+(``http(s)://``, ``mailto:``) or pure anchors must resolve to an
+existing file or directory relative to the markdown file's location
+(anchors are stripped before the check).
+
+Usage::
+
+    python tools/check_links.py README.md docs/*.md
+
+Exits non-zero listing every broken link.  Used by the CI docs lane and
+``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — skips images' leading '!', tolerates titles after a
+# space: [t](path "title").  Inline code spans are stripped first so
+# documentation *about* link syntax does not trip the checker.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_SPAN = re.compile(r"`[^`]*`")
+CODE_BLOCK = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def broken_links(markdown_path: Path) -> list:
+    """(target, reason) for every intra-repo link that does not resolve."""
+    text = markdown_path.read_text()
+    text = CODE_BLOCK.sub("", text)
+    text = CODE_SPAN.sub("", text)
+    failures = []
+    for target in LINK.findall(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (markdown_path.parent / path).resolve()
+        if not resolved.exists():
+            failures.append((target, f"no such file: {resolved}"))
+    return failures
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]",
+              file=sys.stderr)
+        return 2
+    total = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            total += 1
+            continue
+        for target, reason in broken_links(path):
+            print(f"{name}: broken link ({target}) — {reason}",
+                  file=sys.stderr)
+            total += 1
+    if total:
+        print(f"{total} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"links ok across {len(argv)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
