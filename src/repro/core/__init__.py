@@ -8,6 +8,7 @@ from .diversity import (diversity_driven_loss, diversity_term,
                         reconstruction_loss)
 from .embedding import InputEmbedding
 from .ensemble import CAEEnsemble, EpochRecord, TrainingCancelled
+from .fused import FusedEnsembleScorer
 from .hyperparams import (DEFAULT_BETA_RANGE, DEFAULT_LAMBDA_RANGE,
                           DEFAULT_WINDOW_RANGE,
                           PAPER_SELECTED_HYPERPARAMETERS, SelectionResult,
@@ -27,7 +28,8 @@ from .transfer import TransferReport, transfer_parameters
 __all__ = [
     "CAE", "CAEConfig", "CAEEnsemble", "DecoderLayer",
     "DEFAULT_BETA_RANGE", "DEFAULT_LAMBDA_RANGE", "DEFAULT_WINDOW_RANGE",
-    "Encoder", "EncoderLayer", "EnsembleConfig", "EpochRecord", "GLUConv",
+    "Encoder", "EncoderLayer", "EnsembleConfig", "EpochRecord",
+    "FusedEnsembleScorer", "GLUConv",
     "GlobalAttention", "InputEmbedding", "PAPER_SELECTED_HYPERPARAMETERS",
     "RepairResult", "SelectionResult", "TrainingCancelled",
     "TransferReport", "Trial",

@@ -21,11 +21,12 @@ import numpy as np
 from ..datasets.preprocess import StandardScaler
 from ..datasets.windows import (sliding_windows,
                                 window_scores_to_observation_scores)
-from ..nn import Adam, Tensor, no_grad
+from ..nn import Adam, Tensor, inference_dtype, no_grad
 from .cae import CAE
 from .config import CAEConfig, EnsembleConfig
 from .diversity import (diversity_driven_loss, diversity_term,
                         ensemble_diversity, reconstruction_loss)
+from .fused import FusedEnsembleScorer
 from .transfer import TransferReport, transfer_parameters
 
 
@@ -76,6 +77,10 @@ class CAEEnsemble:
         self.transfer_reports: List[TransferReport] = []
         self.train_seconds_: float = 0.0
         self._rng = np.random.default_rng(self.config.seed)
+        # Scoring path: fused batched inference by default (see
+        # repro.core.fused); flip to False to force the per-model loop.
+        self.fused_inference: bool = True
+        self._fused_scorer: Optional[FusedEnsembleScorer] = None
 
     # ------------------------------------------------------------------
     # Training (Algorithm 1)
@@ -105,6 +110,7 @@ class CAEEnsemble:
         start_time = time.perf_counter()
         windows = self._prepare_training_windows(series)
         self.models = []
+        self._fused_scorer = None
         self.history = []
         self.transfer_reports = []
         warm_models = list(warm_start) if warm_start is not None else []
@@ -256,20 +262,64 @@ class CAEEnsemble:
             series = self.scaler.transform(series)
         return series
 
+    def _use_fused(self, fused: Optional[bool]) -> bool:
+        return self.fused_inference if fused is None else bool(fused)
+
+    def fused_scorer(self, dtype=None) -> FusedEnsembleScorer:
+        """The cached :class:`~repro.core.fused.FusedEnsembleScorer`.
+
+        Built lazily from the current ``models`` and rebuilt automatically
+        whenever the model instances change (a refresh swap, a reload, a
+        refit) or the requested compute dtype differs from the cached one.
+        ``dtype`` defaults to the thread's
+        :func:`repro.nn.inference_dtype` policy (float32).  In-place
+        mutation of an existing model's weights is *not* detected — call
+        :meth:`invalidate_fused` after surgery like ``load_state_dict``
+        on an already-scored model.
+        """
+        self._require_fitted()
+        dtype = np.dtype(inference_dtype() if dtype is None else dtype)
+        scorer = self._fused_scorer
+        if scorer is None or scorer.dtype != dtype \
+                or scorer.aggregation != self.config.aggregation \
+                or not scorer.matches(self.models):
+            scorer = FusedEnsembleScorer(self.models, self.cae_config,
+                                         aggregation=self.config.aggregation,
+                                         dtype=dtype)
+            self._fused_scorer = scorer
+        return scorer
+
+    def prepare_fused(self, dtype=None) -> FusedEnsembleScorer:
+        """Eagerly pack the fused weights (e.g. on a refresh build thread)
+        so the first post-swap score does not pay the packing cost."""
+        return self.fused_scorer(dtype=dtype)
+
+    def invalidate_fused(self) -> None:
+        """Drop the cached fused scorer (next fused score repacks)."""
+        self._fused_scorer = None
+
     def window_scores(self, series: np.ndarray,
-                      n_models: Optional[int] = None) -> np.ndarray:
+                      n_models: Optional[int] = None,
+                      fused: Optional[bool] = None) -> np.ndarray:
         """Aggregated per-window per-timestamp scores, ``(N, w)``.
 
         ``n_models`` restricts aggregation to the first ``n_models`` basic
         models (used by the Figure 16 "effect of the number of basic
-        models" experiment without retraining).
+        models" experiment without retraining).  ``fused`` overrides the
+        ensemble's ``fused_inference`` default (the batched single-pass
+        engine vs. the per-model loop; see :mod:`repro.core.fused`).
         """
         self._require_fitted()
+        series = self._transform(series)
+        # Zero-copy: the windows stay a strided view over the scaled
+        # series; both scoring paths consume it without materialising.
+        windows = sliding_windows(series, self.cae_config.window)
+        if self._use_fused(fused):
+            return self.fused_scorer().window_scores(windows,
+                                                     n_models=n_models)
         models = self.models if n_models is None else self.models[:n_models]
         if not models:
             raise ValueError("n_models must be >= 1")
-        series = self._transform(series)
-        windows = np.array(sliding_windows(series, self.cae_config.window))
         per_model = np.stack([model.window_scores(windows)
                               for model in models])        # (M, N, w)
         if self.config.aggregation == "median":
@@ -277,33 +327,37 @@ class CAEEnsemble:
         return per_model.mean(axis=0)
 
     def score(self, series: np.ndarray,
-              n_models: Optional[int] = None) -> np.ndarray:
+              n_models: Optional[int] = None,
+              fused: Optional[bool] = None) -> np.ndarray:
         """One outlier score per observation of ``series`` (length L)."""
-        aggregated = self.window_scores(series, n_models=n_models)
+        aggregated = self.window_scores(series, n_models=n_models,
+                                        fused=fused)
         return window_scores_to_observation_scores(aggregated,
                                                    self.cae_config.window)
 
-    def score_window(self, window: np.ndarray) -> float:
+    def score_window(self, window: np.ndarray,
+                     fused: Optional[bool] = None) -> float:
         """Online mode: score the *last* observation of one window.
 
         This is the streaming path of Table 8 — a new observation arrives,
         a window of it plus its ``w−1`` predecessors is scored in one
-        forward pass per basic model.
+        batched pass over the whole ensemble.
         """
         window = np.asarray(window, dtype=np.float64)
         if window.shape != (self.cae_config.window, self.cae_config.input_dim):
             raise ValueError(f"expected ({self.cae_config.window}, "
                              f"{self.cae_config.input_dim}) window, "
                              f"got {window.shape}")
-        return float(self.score_windows_last(window[None])[0])
+        return float(self.score_windows_last(window[None], fused=fused)[0])
 
-    def score_windows_last(self, windows: np.ndarray) -> np.ndarray:
+    def score_windows_last(self, windows: np.ndarray,
+                           fused: Optional[bool] = None) -> np.ndarray:
         """Micro-batched online scoring: each window's *last* observation.
 
         ``windows`` is ``(B, w, D)`` in raw observation space — typically
         the windows ending at each of B freshly-arrived observations.  One
-        forward pass per basic model covers the whole micro-batch, which
-        amortises the per-call overhead of :meth:`score_window` across B
+        batched pass over the whole ensemble covers the micro-batch,
+        amortising the per-call overhead of :meth:`score_window` across B
         arrivals (the ``repro.streaming`` hot path).  Returns ``(B,)``
         aggregated scores.
         """
@@ -314,9 +368,12 @@ class CAEEnsemble:
             raise ValueError(f"expected (B, {expected[0]}, {expected[1]}) "
                              f"windows, got {windows.shape}")
         if self.scaler is not None:
-            flat = self.scaler.transform(
-                windows.reshape(-1, self.cae_config.input_dim))
-            windows = flat.reshape(windows.shape)
+            # One broadcast pass onto a scoring copy — no (B*w, D)
+            # reshape round-trip through StandardScaler.transform.
+            windows = windows - self.scaler.mean_
+            windows /= self.scaler.std_
+        if self._use_fused(fused):
+            return self.fused_scorer().score_windows_last(windows)
         per_model = np.stack([model.window_scores(windows)[:, -1]
                               for model in self.models])      # (M, B)
         if self.config.aggregation == "median":
@@ -349,7 +406,7 @@ class CAEEnsemble:
         """
         self._require_fitted()
         series = self._transform(series)
-        windows = np.array(sliding_windows(series, self.cae_config.window))
+        windows = sliding_windows(series, self.cae_config.window)
         return [self._model_output(model, windows) for model in self.models]
 
     def diversity(self, series: np.ndarray) -> float:

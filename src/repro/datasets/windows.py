@@ -21,25 +21,25 @@ def sliding_windows(series: np.ndarray, window: int,
                     stride: int = 1) -> np.ndarray:
     """Slice ``(L, D)`` into overlapping windows ``(N, window, D)``.
 
-    Windows are read-only views (stride tricks) — callers that mutate must
-    copy.  ``N = floor((L - window) / stride) + 1``.
+    Windows are zero-copy read-only views
+    (:func:`numpy.lib.stride_tricks.sliding_window_view`) — callers that
+    mutate must copy; the scoring paths consume the view directly so a
+    series is never materialised ``window``-fold.
+    ``N = floor((L - window) / stride) + 1``.
     """
     series = np.ascontiguousarray(series)
     if series.ndim != 2:
         raise ValueError(f"expected (L, D) series, got shape {series.shape}")
-    length, dims = series.shape
+    length, _ = series.shape
     if window <= 0:
         raise ValueError(f"window must be positive, got {window}")
     if window > length:
         raise ValueError(f"window {window} longer than series {length}")
     if stride <= 0:
         raise ValueError(f"stride must be positive, got {stride}")
-    n = (length - window) // stride + 1
-    s0, s1 = series.strides
-    view = np.lib.stride_tricks.as_strided(
-        series, shape=(n, window, dims), strides=(s0 * stride, s0, s1),
-        writeable=False)
-    return view
+    # (L - w + 1, D, w) -> stride the window starts -> (N, w, D) view.
+    view = np.lib.stride_tricks.sliding_window_view(series, window, axis=0)
+    return view[::stride].transpose(0, 2, 1)
 
 
 def window_count(length: int, window: int, stride: int = 1) -> int:

@@ -15,16 +15,19 @@ from .modules import (Conv1d, Dropout, Embedding, Linear, Module, Parameter,
 from .optim import SGD, Adam, Optimizer, RMSProp
 from .rnn import GRUCell, LSTM, LSTMCell
 from .serialization import load_into, load_state_dict, save_state_dict
-from .tensor import (Tensor, as_tensor, concatenate, is_grad_enabled, no_grad,
-                     ones, randn, stack, tensor, where, zeros)
+from .tensor import (Tensor, as_tensor, concatenate, default_dtype,
+                     inference_dtype, inference_precision, is_grad_enabled,
+                     no_grad, ones, randn, set_default_dtype,
+                     set_inference_dtype, stack, tensor, where, zeros)
 
 __all__ = [
     "Adam", "Conv1d", "CosineAnnealingLR", "Dropout", "Embedding",
     "ExponentialLR", "GRUCell", "LRScheduler", "LSTM", "LSTMCell", "Linear",
     "Module", "Optimizer", "Parameter", "RMSProp", "ReLU", "SGD",
     "Sequential", "Sigmoid", "StepLR", "Tanh", "Tensor", "as_tensor",
-    "concatenate", "conv1d", "functional", "gradcheck", "init",
-    "is_grad_enabled", "load_into", "load_state_dict", "no_grad",
-    "numerical_gradient", "ones", "randn", "resolve_padding",
-    "save_state_dict", "stack", "tensor", "where", "zeros",
+    "concatenate", "conv1d", "default_dtype", "functional", "gradcheck",
+    "inference_dtype", "inference_precision", "init", "is_grad_enabled",
+    "load_into", "load_state_dict", "no_grad", "numerical_gradient", "ones",
+    "randn", "resolve_padding", "save_state_dict", "set_default_dtype",
+    "set_inference_dtype", "stack", "tensor", "where", "zeros",
 ]

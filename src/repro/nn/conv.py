@@ -61,13 +61,31 @@ def _im2col(x: np.ndarray, kernel_size: int) -> np.ndarray:
 
 
 def _col2im(cols: np.ndarray, c: int, kernel_size: int, l_pad: int) -> np.ndarray:
-    """Inverse of :func:`_im2col`: scatter-add columns back to ``(N, C, L_pad)``."""
+    """Inverse of :func:`_im2col`: scatter-add columns back to ``(N, C, L_pad)``.
+
+    The overlapping scatter is vectorised with a diagonal strided view:
+    a ``(N, C, K, L_pad)`` staging buffer is viewed with strides so that
+    entry ``(n, c, k, j)`` lands on ``buffer[n, c, k, k + j]`` — each
+    kernel offset's contribution shifted into place by one strided copy —
+    and a single reduction over the ``K`` axis performs all the
+    overlapping adds at once, replacing the per-offset Python loop.  The
+    view is write-disjoint (every ``(k, j)`` maps to a distinct element),
+    so the assignment is well defined; summation runs over ascending
+    ``k``, bit-identical to the loop it replaces.
+    """
     n, _, l_out = cols.shape
     cols = cols.reshape(n, c, kernel_size, l_out)
-    out = np.zeros((n, c, l_pad), dtype=cols.dtype)
-    for k in range(kernel_size):
-        out[:, :, k:k + l_out] += cols[:, :, k, :]
-    return out
+    if kernel_size == 1:
+        out = np.zeros((n, c, l_pad), dtype=cols.dtype)
+        out[:, :, :l_out] = cols[:, :, 0, :]
+        return out
+    staged = np.zeros((n, c, kernel_size, l_pad), dtype=cols.dtype)
+    s_n, s_c, s_k, s_l = staged.strides
+    shifted = np.lib.stride_tricks.as_strided(
+        staged, shape=(n, c, kernel_size, l_out),
+        strides=(s_n, s_c, s_k + s_l, s_l))
+    shifted[...] = cols
+    return staged.sum(axis=2)
 
 
 def conv1d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,

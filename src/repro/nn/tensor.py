@@ -33,6 +33,65 @@ Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
 # that is training a replacement model at the same time.
 _GRAD_MODE = threading.local()
 
+# Dtype policy, likewise per-thread: training runs in float64 (the
+# gradcheck-verified precision of the autograd substrate), inference fast
+# paths default to float32 (half the memory traffic, same BLAS calls).
+# Keeping both settings thread-local means a serving thread scoring in
+# float32 never degrades a background thread that is training a
+# replacement ensemble in float64, and vice versa.
+_DTYPE_POLICY = threading.local()
+
+TRAINING_DTYPE = np.float64
+INFERENCE_DTYPE = np.float32
+
+
+def default_dtype() -> np.dtype:
+    """The dtype new tensors are created with on this thread (training
+    precision; float64 unless overridden via :func:`set_default_dtype`)."""
+    return getattr(_DTYPE_POLICY, "default", np.dtype(TRAINING_DTYPE))
+
+
+def set_default_dtype(dtype) -> None:
+    """Set this thread's tensor-construction dtype (must be a float kind)."""
+    dtype = np.dtype(dtype)
+    if dtype.kind != "f":
+        raise ValueError(f"default dtype must be floating, got {dtype}")
+    _DTYPE_POLICY.default = dtype
+
+
+def inference_dtype() -> np.dtype:
+    """The dtype no-grad fast paths (e.g. the fused ensemble scorer)
+    compute in on this thread; float32 unless overridden."""
+    return getattr(_DTYPE_POLICY, "inference", np.dtype(INFERENCE_DTYPE))
+
+
+def set_inference_dtype(dtype) -> None:
+    """Set this thread's inference dtype (float32 for speed, float64 for
+    bit-exact parity with the per-model training substrate)."""
+    dtype = np.dtype(dtype)
+    if dtype.kind != "f":
+        raise ValueError(f"inference dtype must be floating, got {dtype}")
+    _DTYPE_POLICY.inference = dtype
+
+
+@contextlib.contextmanager
+def inference_precision(dtype):
+    """Temporarily pin this thread's inference dtype.
+
+    >>> import numpy as np
+    >>> with inference_precision(np.float64):
+    ...     inference_dtype() == np.float64
+    True
+    >>> inference_dtype() == np.float32
+    True
+    """
+    previous = inference_dtype()
+    set_inference_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_inference_dtype(previous)
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -80,8 +139,9 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to ``np.ndarray`` (floats are kept as float64
-        unless the source array already has another float dtype).
+        Anything convertible to ``np.ndarray`` (non-float input is cast to
+        the thread's :func:`default_dtype` — float64 unless overridden —
+        while float source arrays keep their dtype).
     requires_grad:
         Whether gradients should be accumulated into ``.grad`` on backward.
     """
@@ -92,7 +152,7 @@ class Tensor:
                  name: Optional[str] = None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64) if not isinstance(
+        self.data = np.asarray(data, dtype=default_dtype()) if not isinstance(
             data, np.ndarray) or data.dtype.kind != "f" else np.asarray(data)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)

@@ -463,6 +463,13 @@ class RefreshCoordinator:
                 # build instead of wedging every subscriber in 'building'.
                 self.on_build_start(build)
             replacement, report = self._call_build(build)
+            # Pack the fused inference weights on this build thread so
+            # none of the subscribers' serving threads pays the packing
+            # cost at its boundary swap (no-op for the canonical
+            # refresher, which prepares inside build()).
+            prepare = getattr(replacement, "prepare_fused", None)
+            if prepare is not None:
+                prepare()
         except TrainingCancelled:
             cancelled = True
         except Exception as exc:

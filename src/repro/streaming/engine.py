@@ -352,7 +352,9 @@ class StreamingDetector:
         first_scoreable = max(0, window - 1 - tail.shape[0])
         scores: Optional[np.ndarray] = None
         if context.shape[0] >= window:
-            windows = np.ascontiguousarray(sliding_windows(context, window))
+            # Zero-copy: the windows stay a strided view over the batch
+            # context; scoring scales/casts into reused buffers.
+            windows = sliding_windows(context, window)
             scores = self.ensemble.score_windows_last(windows)
         self._window.push_many(observations)
         self._history.push_many(observations)
@@ -490,6 +492,12 @@ class StreamingDetector:
                         report: RefreshReport) -> None:
         """Atomic swap: the old ensemble served every score up to here."""
         self.ensemble = replacement
+        # Fused inference weights are normally packed on the build
+        # thread; make sure they exist before the next score either way
+        # (no-op when already prepared, guarded for duck-typed stand-ins).
+        prepare = getattr(replacement, "prepare_fused", None)
+        if prepare is not None:
+            prepare()
         if self._refresher is not None:
             self._refresher.commit(report)
         self.refresh_reports.append(report)

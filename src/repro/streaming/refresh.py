@@ -245,6 +245,9 @@ class EnsembleRefresher:
         replacement = CAEEnsemble(ensemble.cae_config, config)
         replacement.fit(history, warm_start=ensemble.models,
                         warm_start_fraction=beta, cancel=cancel)
+        # Pack the fused inference weights here, on the build thread, so
+        # the serving thread's first post-swap score pays nothing.
+        replacement.prepare_fused()
         copied = sum(r.copied_parameters for r in replacement.transfer_reports)
         total = sum(r.total_parameters for r in replacement.transfer_reports)
         report = RefreshReport(index=index,

@@ -254,6 +254,13 @@ class RefreshWorker(_BuildConsumer):
         except Exception as error:
             handle._finish("failed", error=error)
         else:
+            # Duck-typed refreshers may build real ensembles without the
+            # canonical EnsembleRefresher.build: make sure the fused
+            # inference weights are packed off the serving thread too
+            # (no-op when the build already prepared them).
+            prepare = getattr(replacement, "prepare_fused", None)
+            if prepare is not None:
+                prepare()
             handle._finish("ready", replacement=replacement, report=report)
         try:
             if self.on_build_done is not None:

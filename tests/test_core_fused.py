@@ -1,0 +1,291 @@
+"""Fused-vs-loop equivalence battery for the batched inference engine.
+
+The contract of :mod:`repro.core.fused`: with float64 the fused scorer
+reproduces the per-model scoring loop **bit for bit** (same elementwise
+op order, same GEMM dot products); with float32 (the default inference
+dtype) it agrees within 1e-5 relative tolerance.  The battery covers
+ensemble sizes M in {1, 5, 40}, uni- and multivariate series, every
+architecture toggle, streaming refresh swaps and save/load round-trips.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (CAEConfig, CAEEnsemble, EnsembleConfig,
+                        FusedEnsembleScorer, load_ensemble, save_ensemble)
+from repro.core.cae import CAE
+from repro.datasets.preprocess import StandardScaler
+from repro.nn import inference_dtype, inference_precision
+from tests.conftest import sine_regime
+
+
+def make_series(dims: int, length: int = 320, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    base = np.stack([np.sin(2 * np.pi * t / (17 + 5 * d))
+                     for d in range(dims)], axis=1)
+    return base + 0.05 * rng.standard_normal((length, dims))
+
+
+def trained_ensemble(dims: int, n_models: int, seed: int = 0,
+                     **config_kwargs) -> CAEEnsemble:
+    config_kwargs.setdefault("n_layers", 2)
+    ensemble = CAEEnsemble(
+        CAEConfig(input_dim=dims, embed_dim=8, window=8, **config_kwargs),
+        EnsembleConfig(n_models=n_models, epochs_per_model=1, seed=seed,
+                       max_training_windows=32))
+    return ensemble.fit(make_series(dims, seed=seed))
+
+
+def fabricated_ensemble(dims: int, n_models: int,
+                        seed: int = 0) -> CAEEnsemble:
+    """An inference-ready ensemble with random-init models.
+
+    Training is irrelevant to the fused-vs-loop comparison (both paths
+    consume the same weights), so large M is fabricated cheaply.
+    """
+    config = CAEConfig(input_dim=dims, embed_dim=8, window=8, n_layers=2)
+    ensemble = CAEEnsemble(config, EnsembleConfig(n_models=n_models, seed=0))
+    root = np.random.default_rng(seed)
+    ensemble.models = [CAE(config, np.random.default_rng(
+        root.integers(2 ** 32))) for _ in range(n_models)]
+    ensemble.scaler = StandardScaler().fit(make_series(dims, seed=seed))
+    return ensemble
+
+
+def assert_fused_equivalent(ensemble: CAEEnsemble, series: np.ndarray):
+    """Both scoring entry points: float64 exact, float32 within 1e-5."""
+    loop = ensemble.score(series, fused=False)
+    with inference_precision(np.float64):
+        np.testing.assert_array_equal(ensemble.score(series, fused=True),
+                                      loop)
+    np.testing.assert_allclose(ensemble.score(series, fused=True), loop,
+                               rtol=1e-5)
+    window = ensemble.cae_config.window
+    windows = np.stack([series[i:i + window] for i in range(24)])
+    loop_last = ensemble.score_windows_last(windows, fused=False)
+    with inference_precision(np.float64):
+        np.testing.assert_array_equal(
+            ensemble.score_windows_last(windows, fused=True), loop_last)
+    np.testing.assert_allclose(
+        ensemble.score_windows_last(windows, fused=True), loop_last,
+        rtol=1e-5)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("dims", [1, 3])
+    @pytest.mark.parametrize("n_models", [1, 5])
+    def test_trained_ensembles(self, dims, n_models):
+        ensemble = trained_ensemble(dims, n_models)
+        assert_fused_equivalent(ensemble, make_series(dims, seed=9))
+
+    @pytest.mark.parametrize("dims", [1, 3])
+    def test_forty_model_ensemble(self, dims):
+        ensemble = fabricated_ensemble(dims, 40)
+        assert_fused_equivalent(ensemble, make_series(dims, seed=9))
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(reconstruct="embedding"),
+        dict(use_attention=False),
+        dict(use_glu=False),
+        dict(use_glu=False, use_attention=False),
+        dict(position_mode="table"),
+        dict(kernel_size=5),
+        dict(n_layers=1),
+    ])
+    def test_architecture_toggles(self, kwargs):
+        ensemble = trained_ensemble(2, 2, **kwargs)
+        assert_fused_equivalent(ensemble, make_series(2, seed=9))
+
+    def test_mean_aggregation(self):
+        ensemble = CAEEnsemble(
+            CAEConfig(input_dim=2, embed_dim=8, window=8, n_layers=1),
+            EnsembleConfig(n_models=3, epochs_per_model=1, seed=0,
+                           aggregation="mean", max_training_windows=32))
+        ensemble.fit(make_series(2))
+        assert_fused_equivalent(ensemble, make_series(2, seed=9))
+
+    def test_no_rescale(self):
+        ensemble = CAEEnsemble(
+            CAEConfig(input_dim=2, embed_dim=8, window=8, n_layers=1),
+            EnsembleConfig(n_models=2, epochs_per_model=1, seed=0,
+                           rescale=False, max_training_windows=32))
+        ensemble.fit(make_series(2))
+        assert_fused_equivalent(ensemble, make_series(2, seed=9))
+
+    @pytest.mark.parametrize("n_models", [1, 2, 5, 99])
+    def test_n_models_slicing(self, n_models):
+        ensemble = trained_ensemble(2, 5)
+        series = make_series(2, seed=9)
+        loop = ensemble.window_scores(series, n_models=n_models,
+                                      fused=False)
+        with inference_precision(np.float64):
+            fused = ensemble.window_scores(series, n_models=n_models,
+                                           fused=True)
+        np.testing.assert_array_equal(fused, loop)
+
+    def test_chunk_boundaries_are_invisible(self, monkeypatch):
+        """Chunked and single-pass fused scoring are bit-identical —
+        windows are independent, so the split is pure memory shaping."""
+        ensemble = trained_ensemble(2, 3)
+        series = make_series(2, seed=9)
+        one_pass = ensemble.score(series)
+        monkeypatch.setattr(FusedEnsembleScorer, "CHUNK_TARGET_ROWS", 5)
+        ensemble.invalidate_fused()
+        np.testing.assert_array_equal(ensemble.score(series), one_pass)
+
+    def test_scalar_window_matches_batch(self):
+        ensemble = trained_ensemble(2, 3)
+        series = make_series(2, seed=9)
+        window = ensemble.cae_config.window
+        windows = np.stack([series[i:i + window] for i in range(10)])
+        batch = ensemble.score_windows_last(windows)
+        for i in range(10):
+            assert ensemble.score_window(windows[i]) == batch[i]
+
+    def test_repeated_calls_reuse_workspace_identically(self):
+        ensemble = trained_ensemble(2, 3)
+        series = make_series(2, seed=9)
+        first = ensemble.score(series)
+        for _ in range(3):
+            np.testing.assert_array_equal(ensemble.score(series), first)
+
+    def test_concurrent_scoring_threads(self):
+        """The workspace is thread-local: parallel scorers sharing one
+        fused scorer must not corrupt each other's buffers."""
+        ensemble = trained_ensemble(2, 3)
+        series = make_series(2, seed=9)
+        expected = ensemble.score(series)
+        results, errors = {}, []
+
+        def work(tag):
+            try:
+                for _ in range(5):
+                    results[tag] = ensemble.score(series)
+            except Exception as exc:          # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors
+        for scores in results.values():
+            np.testing.assert_array_equal(scores, expected)
+
+
+class TestCacheLifecycle:
+    def test_scorer_cached_between_calls(self):
+        ensemble = trained_ensemble(2, 2)
+        series = make_series(2, seed=9)
+        ensemble.score(series)
+        scorer = ensemble._fused_scorer
+        assert scorer is not None
+        ensemble.score(series)
+        assert ensemble._fused_scorer is scorer
+
+    def test_refit_rebuilds_scorer(self):
+        ensemble = trained_ensemble(2, 2)
+        series = make_series(2, seed=9)
+        before = ensemble.score(series)
+        scorer = ensemble._fused_scorer
+        ensemble.fit(make_series(2, seed=5))
+        after = ensemble.score(series)
+        assert ensemble._fused_scorer is not scorer
+        assert not np.array_equal(before, after)
+        assert_fused_equivalent(ensemble, series)
+
+    def test_model_list_swap_detected(self):
+        ensemble = trained_ensemble(2, 3)
+        series = make_series(2, seed=9)
+        ensemble.score(series)
+        ensemble.models = ensemble.models[:2]     # drop a model
+        assert_fused_equivalent(ensemble, series)
+
+    def test_in_place_mutation_needs_invalidate(self):
+        ensemble = trained_ensemble(2, 2)
+        series = make_series(2, seed=9)
+        stale = ensemble.score(series)
+        # In-place weight surgery is invisible to the id fingerprint...
+        for model in ensemble.models:
+            state = {name: values * 1.5
+                     for name, values in model.state_dict().items()}
+            model.load_state_dict(state)
+        np.testing.assert_array_equal(ensemble.score(series), stale)
+        # ... until the cache is dropped explicitly.
+        ensemble.invalidate_fused()
+        fresh = ensemble.score(series)
+        assert not np.array_equal(fresh, stale)
+        assert_fused_equivalent(ensemble, series)
+
+    def test_dtype_change_rebuilds(self):
+        ensemble = trained_ensemble(2, 2)
+        series = make_series(2, seed=9)
+        ensemble.score(series)
+        assert ensemble._fused_scorer.dtype == inference_dtype()
+        with inference_precision(np.float64):
+            ensemble.score(series)
+            assert ensemble._fused_scorer.dtype == np.float64
+
+    def test_unfitted_rejected(self):
+        ensemble = CAEEnsemble(CAEConfig(input_dim=2))
+        with pytest.raises(RuntimeError):
+            ensemble.fused_scorer()
+        with pytest.raises(ValueError):
+            FusedEnsembleScorer([], CAEConfig(input_dim=2))
+
+    def test_bad_window_shapes_rejected(self):
+        ensemble = trained_ensemble(2, 2)
+        with pytest.raises(ValueError):
+            ensemble.fused_scorer().window_scores(np.zeros((4, 3, 2)))
+        with pytest.raises(ValueError):
+            ensemble.fused_scorer().window_scores(np.zeros((8, 2)))
+
+
+class TestAfterRefreshAndPersistence:
+    def test_streaming_refresh_swap_stays_equivalent(self):
+        """After a drift-triggered inline refresh swap the serving
+        ensemble is a new instance with packed fused weights — its fused
+        and per-model scores must still match."""
+        from repro.streaming import (DDMDrift, EnsembleRefresher,
+                                     StreamingDetector)
+        from tests.conftest import make_stream_ensemble
+        detector = StreamingDetector(
+            make_stream_ensemble(epochs=1),
+            drift_detector=DDMDrift(min_samples=20),
+            refresher=EnsembleRefresher(min_history=80, epochs_per_model=1),
+            history=256)
+        detector.warm_up(sine_regime(7, start=353))
+        detector.update_batch(sine_regime(60, start=360))
+        shifted = sine_regime(200, start=420, shift=3.0)
+        for start in range(0, 200, 20):
+            detector.update_batch(shifted[start:start + 20])
+        assert detector.n_refreshes >= 1
+        refreshed = detector.ensemble
+        assert refreshed._fused_scorer is not None   # packed at build time
+        assert_fused_equivalent(refreshed, sine_regime(120, start=620,
+                                                       shift=3.0))
+
+    def test_save_load_round_trip(self, tmp_path):
+        ensemble = trained_ensemble(3, 5)
+        series = make_series(3, seed=9)
+        save_ensemble(ensemble, str(tmp_path / "ensemble"))
+        reloaded = load_ensemble(str(tmp_path / "ensemble"))
+        # Same weights -> bit-identical fused scores, and the reloaded
+        # instance honours the full equivalence contract.
+        np.testing.assert_array_equal(reloaded.score(series),
+                                      ensemble.score(series))
+        assert_fused_equivalent(reloaded, series)
+
+    def test_refresh_build_prepares_fused_weights(self):
+        from repro.streaming import EnsembleRefresher
+        ensemble = trained_ensemble(2, 2)
+        refresher = EnsembleRefresher(epochs_per_model=1)
+        replacement, _ = refresher.build(ensemble, make_series(2, seed=3),
+                                         index=100)
+        assert replacement._fused_scorer is not None
+        assert_fused_equivalent(replacement, make_series(2, seed=9))

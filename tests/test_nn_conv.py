@@ -4,8 +4,8 @@ equivalence to a naive reference implementation."""
 import numpy as np
 import pytest
 
-from repro.nn import Tensor
-from repro.nn.conv import conv1d, resolve_padding
+from repro.nn import Tensor, gradcheck
+from repro.nn.conv import _col2im, _im2col, conv1d, resolve_padding
 
 
 def naive_conv1d(x, w, b, left, right):
@@ -97,6 +97,50 @@ class TestConvCorrectness:
         y2 = conv1d(Tensor(x2), Tensor(w), padding="same").data
         # Position 4 sees position 5 through the right half of the kernel.
         assert not np.allclose(y1[0, 0, 4], y2[0, 0, 4])
+
+
+def col2im_loop(cols, c, kernel_size, l_pad):
+    """The original per-kernel-offset Python loop (reference)."""
+    n, _, l_out = cols.shape
+    cols = cols.reshape(n, c, kernel_size, l_out)
+    out = np.zeros((n, c, l_pad), dtype=cols.dtype)
+    for k in range(kernel_size):
+        out[:, :, k:k + l_out] += cols[:, :, k, :]
+    return out
+
+
+class TestCol2Im:
+    """The strided scatter-add must match the loop it replaced exactly."""
+
+    @pytest.mark.parametrize("kernel_size", [1, 2, 3, 5, 7])
+    def test_matches_loop_reference(self, kernel_size):
+        rng = np.random.default_rng(11)
+        n, c, l_pad = 3, 4, 12
+        l_out = l_pad - kernel_size + 1
+        cols = rng.standard_normal((n, c * kernel_size, l_out))
+        np.testing.assert_array_equal(
+            _col2im(cols, c, kernel_size, l_pad),
+            col2im_loop(cols, c, kernel_size, l_pad))
+
+    def test_inverts_im2col_counts(self):
+        """col2im(im2col(x)) multiplies each position by its coverage —
+        interior positions of a K-kernel unfold appear K times."""
+        x = np.ones((1, 1, 8))
+        cols = np.ascontiguousarray(_im2col(x, 3))
+        out = _col2im(cols, 1, 3, 8)
+        np.testing.assert_array_equal(out[0, 0], [1, 2, 3, 3, 3, 3, 2, 1])
+
+    @pytest.mark.parametrize("padding", ["same", "causal", "valid"])
+    def test_conv1d_input_gradient(self, padding):
+        """Gradcheck through conv1d w.r.t. the input — the backward path
+        that exercises the vectorised scatter-add."""
+        rng = np.random.default_rng(7)
+        x = Tensor(rng.standard_normal((2, 3, 9)), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 3, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(4), requires_grad=True)
+        assert gradcheck(lambda x_, w_, b_: conv1d(x_, w_, b_,
+                                                   padding=padding),
+                         [x, w, b])
 
 
 class TestConvValidation:

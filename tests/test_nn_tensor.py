@@ -264,3 +264,64 @@ class TestReductionsAndElementwise:
         a = Tensor(np.zeros(3))
         a.copy_(Tensor(np.arange(3.0)))
         np.testing.assert_allclose(a.data, [0.0, 1.0, 2.0])
+
+
+class TestDtypePolicy:
+    """Thread-local dtype policy: float64 training / float32 inference."""
+
+    def test_defaults(self):
+        from repro.nn import default_dtype, inference_dtype
+        assert default_dtype() == np.float64
+        assert inference_dtype() == np.float32
+
+    def test_set_default_dtype_affects_construction(self):
+        from repro.nn import default_dtype, set_default_dtype
+        set_default_dtype(np.float32)
+        try:
+            assert Tensor([1.0, 2.0]).dtype == np.float32
+            assert default_dtype() == np.float32
+        finally:
+            set_default_dtype(np.float64)
+        assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_float_arrays_keep_their_dtype(self):
+        data = np.array([1.0, 2.0], dtype=np.float32)
+        assert Tensor(data).dtype == np.float32
+
+    def test_inference_precision_context(self):
+        from repro.nn import inference_dtype, inference_precision
+        with inference_precision(np.float64):
+            assert inference_dtype() == np.float64
+            with inference_precision(np.float32):
+                assert inference_dtype() == np.float32
+            assert inference_dtype() == np.float64
+        assert inference_dtype() == np.float32
+
+    def test_non_float_dtypes_rejected(self):
+        from repro.nn import set_default_dtype, set_inference_dtype
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int64)
+        with pytest.raises(ValueError):
+            set_inference_dtype(np.int32)
+
+    def test_policy_is_thread_local(self):
+        import threading
+        from repro.nn import inference_dtype, set_inference_dtype
+        seen = {}
+
+        def probe():
+            seen["before"] = inference_dtype()
+            set_inference_dtype(np.float64)
+            seen["after"] = inference_dtype()
+
+        set_inference_dtype(np.float64)
+        try:
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join(10.0)
+            # The worker starts from the module default, not this
+            # thread's override, and its own override stays private.
+            assert seen["before"] == np.float32
+            assert seen["after"] == np.float64
+        finally:
+            set_inference_dtype(np.float32)

@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Inference / streaming throughput bench harness (machine-readable).
+
+Runs the Table 8-style scoring benches on a large ensemble and emits the
+perf trajectory as JSON, so speedups (and regressions) are visible and
+diffable across commits:
+
+* ``BENCH_inference.json`` — single-observation (``score_window``) and
+  micro-batch (``score_windows_last``) latency, fused engine vs the
+  per-model loop, across batch sizes;
+* ``BENCH_streaming.json`` — end-to-end ``StreamingDetector.update_batch``
+  throughput (observations/second), fused vs unfused.
+
+The ensemble's basic models are random-initialised rather than trained:
+inference cost is independent of the weight values, and fabricating the
+models keeps a 40-model bench in CPU seconds.  Scores still go through
+the full scaler -> forward -> aggregation path.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py [--models 40] [--quick]
+        [--out benchmarks/output]
+
+``--quick`` shrinks rounds for a CI smoke lane; the emitted JSON marks
+the mode so trajectories are compared like for like.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "src"))
+
+from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig   # noqa: E402
+from repro.core.cae import CAE                                   # noqa: E402
+from repro.datasets.preprocess import StandardScaler             # noqa: E402
+from repro.streaming import StreamingDetector                    # noqa: E402
+
+WINDOW = 16
+DIMS = 3
+
+
+def make_series(length: int) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    t = np.arange(length)
+    series = np.stack([np.sin(2 * np.pi * t / 31),
+                       np.cos(2 * np.pi * t / 47),
+                       np.sin(2 * np.pi * t / 19)], axis=1)
+    return series + 0.05 * rng.standard_normal((length, DIMS))
+
+
+def fabricate_ensemble(n_models: int, embed_dim: int, n_layers: int,
+                       series: np.ndarray) -> CAEEnsemble:
+    config = CAEConfig(input_dim=DIMS, embed_dim=embed_dim, window=WINDOW,
+                       n_layers=n_layers)
+    ensemble = CAEEnsemble(config, EnsembleConfig(n_models=n_models,
+                                                  seed=0))
+    root = np.random.default_rng(0)
+    ensemble.models = [CAE(config, np.random.default_rng(
+        root.integers(2 ** 32))) for _ in range(n_models)]
+    ensemble.scaler = StandardScaler().fit(series)
+    return ensemble
+
+
+def best_of(fn, rounds: int, inner: int) -> float:
+    """Best-of-rounds mean seconds per call (robust to machine noise)."""
+    fn()                                    # warm-up: buffers, caches
+    best = float("inf")
+    for _ in range(rounds):
+        tick = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - tick) / inner)
+    return best
+
+
+def bench_inference(ensemble: CAEEnsemble, series: np.ndarray,
+                    batch_sizes, rounds: int) -> dict:
+    results = {}
+    window = series[:WINDOW]
+    unfused = best_of(lambda: ensemble.score_window(window, fused=False),
+                      rounds, 1)
+    fused = best_of(lambda: ensemble.score_window(window, fused=True),
+                    rounds, 10)
+    results["single_observation"] = {
+        "unfused_ms": unfused * 1e3, "fused_ms": fused * 1e3,
+        "speedup": unfused / fused,
+    }
+    results["micro_batch"] = {}
+    for batch in batch_sizes:
+        windows = np.stack([series[i:i + WINDOW] for i in range(batch)])
+        unfused = best_of(
+            lambda: ensemble.score_windows_last(windows, fused=False),
+            max(2, rounds // 2), 1)
+        fused = best_of(
+            lambda: ensemble.score_windows_last(windows, fused=True),
+            rounds, 2)
+        results["micro_batch"][str(batch)] = {
+            "unfused_ms": unfused * 1e3, "fused_ms": fused * 1e3,
+            "speedup": unfused / fused,
+        }
+    return results
+
+
+def bench_streaming(ensemble: CAEEnsemble, train: np.ndarray,
+                    stream: np.ndarray, micro_batch: int,
+                    rounds: int) -> dict:
+    results = {}
+    for label, fused in (("fused", True), ("unfused", False)):
+        ensemble.fused_inference = fused
+        seconds = float("inf")
+        for _ in range(rounds):
+            detector = StreamingDetector(ensemble, history=WINDOW)
+            detector.warm_up(train[-(WINDOW - 1):])
+            tick = time.perf_counter()
+            for start in range(0, len(stream), micro_batch):
+                detector.update_batch(stream[start:start + micro_batch])
+            seconds = min(seconds, time.perf_counter() - tick)
+        results[label] = {
+            "seconds": seconds,
+            "observations_per_second": len(stream) / seconds,
+            "ms_per_observation": seconds / len(stream) * 1e3,
+        }
+    ensemble.fused_inference = True
+    results["speedup"] = results["fused"]["observations_per_second"] / \
+        results["unfused"]["observations_per_second"]
+    results["micro_batch"] = micro_batch
+    results["stream_length"] = len(stream)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--models", type=int, default=40)
+    parser.add_argument("--embed-dim", type=int, default=32)
+    parser.add_argument("--layers", type=int, default=2)
+    parser.add_argument("--micro-batch", type=int, default=64)
+    parser.add_argument("--stream-length", type=int, default=512)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer rounds / shorter stream (CI smoke)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), os.pardir, "benchmarks", "output"))
+    args = parser.parse_args(argv)
+
+    rounds = 3 if args.quick else 7
+    stream_length = min(args.stream_length,
+                        128 if args.quick else args.stream_length)
+    batch_sizes = (16, args.micro_batch) if args.quick \
+        else (8, 16, 32, args.micro_batch)
+
+    series = make_series(4096)
+    ensemble = fabricate_ensemble(args.models, args.embed_dim, args.layers,
+                                  series)
+    meta = {
+        "mode": "quick" if args.quick else "full",
+        "n_models": args.models,
+        "embed_dim": args.embed_dim,
+        "n_layers": args.layers,
+        "window": WINDOW,
+        "input_dim": DIMS,
+        "inference_dtype": "float32",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+    print(f"bench: {args.models} basic models, embed {args.embed_dim}, "
+          f"{args.layers} layers, window {WINDOW} "
+          f"({meta['mode']} mode)")
+
+    inference = bench_inference(ensemble, series, batch_sizes, rounds)
+    single = inference["single_observation"]
+    print(f"  single-observation: unfused {single['unfused_ms']:8.2f} ms  "
+          f"fused {single['fused_ms']:6.2f} ms  "
+          f"-> {single['speedup']:.1f}x")
+    for batch, numbers in inference["micro_batch"].items():
+        print(f"  micro-batch B={batch:>3}: unfused "
+              f"{numbers['unfused_ms']:8.2f} ms  "
+              f"fused {numbers['fused_ms']:6.2f} ms  "
+              f"-> {numbers['speedup']:.1f}x")
+
+    stream = make_series(4096 + stream_length)[-stream_length:]
+    streaming = bench_streaming(ensemble, series, stream,
+                                args.micro_batch, max(2, rounds // 2))
+    print(f"  streaming update_batch({args.micro_batch}): "
+          f"unfused {streaming['unfused']['observations_per_second']:7.0f}"
+          f" obs/s  fused "
+          f"{streaming['fused']['observations_per_second']:7.0f} obs/s  "
+          f"-> {streaming['speedup']:.1f}x")
+
+    os.makedirs(args.out, exist_ok=True)
+    for name, payload in (("BENCH_inference.json", inference),
+                          ("BENCH_streaming.json", streaming)):
+        path = os.path.join(args.out, name)
+        with open(path, "w") as handle:
+            json.dump({"meta": meta, "results": payload}, handle, indent=2)
+            handle.write("\n")
+        print(f"  wrote {os.path.relpath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
