@@ -18,6 +18,10 @@ Package layout
                       threshold calibration, concept-drift detection and
                       drift-triggered warm-started ensemble refresh, and
                       a :class:`StreamFleet` for many concurrent streams
+``repro.obs``         dependency-free observability: a metrics registry
+                      (counters/gauges/streaming histograms), span
+                      tracing across the refresh lifecycle, and
+                      Prometheus/JSON/logging exporters
 
 Quickstart
 ----------
@@ -31,8 +35,8 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import (baselines, core, datasets, experiments, metrics, nn,
+from . import (baselines, core, datasets, experiments, metrics, nn, obs,
                streaming)
 
 __all__ = ["baselines", "core", "datasets", "experiments", "metrics", "nn",
-           "streaming", "__version__"]
+           "obs", "streaming", "__version__"]

@@ -52,6 +52,7 @@ refreshing, which builds new instances, is detected automatically).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -59,6 +60,7 @@ from scipy.special import expit
 
 from ..nn.conv import resolve_padding
 from ..nn.tensor import inference_dtype, no_grad
+from ..obs import default_registry
 from .config import CAEConfig
 
 
@@ -71,12 +73,19 @@ class _Workspace:
     workspace lives in a ``threading.local`` slot of the scorer, so
     concurrent scoring threads (fleet serving, background refreshes)
     never share scratch memory.
+
+    ``allocs``/``reuses`` count buffer outcomes (two plain int adds per
+    ``get`` — always on); the scorer flushes their deltas into registry
+    counters after each scored batch, so a steady-state serve path shows
+    reuses climbing while allocs stay flat.
     """
 
-    __slots__ = ("_buffers",)
+    __slots__ = ("_buffers", "allocs", "reuses")
 
     def __init__(self):
         self._buffers: Dict[str, np.ndarray] = {}
+        self.allocs = 0
+        self.reuses = 0
 
     def get(self, key: str, shape: Tuple[int, ...],
             dtype: np.dtype) -> np.ndarray:
@@ -84,7 +93,40 @@ class _Workspace:
         if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
             buffer = np.empty(shape, dtype=dtype)
             self._buffers[key] = buffer
+            self.allocs += 1
+        else:
+            self.reuses += 1
         return buffer
+
+
+class _FusedTelemetry:
+    """The scorer's cached instruments (see ``docs/observability.md``).
+
+    Bound once at scorer construction; with a
+    :class:`~repro.obs.NullRegistry` the ``enabled`` flag short-circuits
+    every timing call on the chunk loop.
+    """
+
+    __slots__ = ("enabled", "chunk_seconds", "windows", "workspace_allocs",
+                 "workspace_reuses")
+
+    def __init__(self, registry):
+        self.enabled = registry.enabled
+        self.chunk_seconds = registry.histogram("repro_fused_chunk_seconds")
+        self.windows = registry.counter("repro_fused_windows_total")
+        self.workspace_allocs = registry.counter(
+            "repro_fused_workspace_allocs_total")
+        self.workspace_reuses = registry.counter(
+            "repro_fused_workspace_reuses_total")
+
+    def flush_workspace(self, workspace: _Workspace) -> None:
+        """Move the workspace's int deltas into the shared counters."""
+        if workspace.allocs:
+            self.workspace_allocs.inc(workspace.allocs)
+            workspace.allocs = 0
+        if workspace.reuses:
+            self.workspace_reuses.inc(workspace.reuses)
+            workspace.reuses = 0
 
 
 class _ConvPack:
@@ -157,11 +199,17 @@ class FusedEnsembleScorer:
                 :func:`repro.nn.inference_dtype` policy (float32 unless
                 overridden).  float64 reproduces the per-model loop
                 bit-for-bit.
+    registry:   metrics registry for chunk timings and workspace
+                counters; None binds the process default
+                (:func:`repro.obs.default_registry`).  Pass a
+                :class:`~repro.obs.NullRegistry` to switch the scorer's
+                telemetry off entirely.
     """
 
     def __init__(self, models: Sequence, cae_config: CAEConfig,
                  aggregation: str = "median",
-                 dtype: Optional[np.dtype] = None):
+                 dtype: Optional[np.dtype] = None,
+                 registry=None):
         if not models:
             raise ValueError("FusedEnsembleScorer needs at least one model")
         if aggregation not in ("median", "mean"):
@@ -186,6 +234,8 @@ class FusedEnsembleScorer:
         # their addresses reused.
         self.packed_models: Tuple = tuple(models)
         self._local = threading.local()
+        self._obs = _FusedTelemetry(registry if registry is not None
+                                    else default_registry())
         self._pack(models)
 
     # ------------------------------------------------------------------
@@ -514,7 +564,9 @@ class FusedEnsembleScorer:
         out = np.empty((n, self.config.window), dtype=np.float64)
         chunk = self._chunk_size(m, n)
         workspace = self._workspace
+        obs = self._obs
         for start in range(0, n, chunk):
+            tick = time.perf_counter() if obs.enabled else 0.0
             part = windows_cf[:, start:start + chunk]
             reconstruction, target = self._reconstruct(part, m, workspace)
             # Errors reduce over the feature axis in (.., w, D) layout —
@@ -526,6 +578,11 @@ class FusedEnsembleScorer:
                         target.transpose(0, 1, 3, 2), out=diff)
             diff *= diff
             out[start:start + chunk] = self._aggregate(diff.sum(axis=-1))
+            if obs.enabled:
+                obs.chunk_seconds.observe(time.perf_counter() - tick)
+        if obs.enabled:
+            obs.windows.inc(n)
+            obs.flush_workspace(workspace)
         return out
 
     def score_windows_last(self, windows: np.ndarray,
@@ -542,7 +599,9 @@ class FusedEnsembleScorer:
         out = np.empty(n, dtype=np.float64)
         chunk = self._chunk_size(m, n)
         workspace = self._workspace
+        obs = self._obs
         for start in range(0, n, chunk):
+            tick = time.perf_counter() if obs.enabled else 0.0
             part = windows_cf[:, start:start + chunk]
             reconstruction, target = self._reconstruct(part, m, workspace)
             last = reconstruction[..., -1]
@@ -551,6 +610,11 @@ class FusedEnsembleScorer:
             np.subtract(last, target_last, out=diff)
             diff *= diff
             out[start:start + chunk] = self._aggregate(diff.sum(axis=-1))
+            if obs.enabled:
+                obs.chunk_seconds.observe(time.perf_counter() - tick)
+        if obs.enabled:
+            obs.windows.inc(n)
+            obs.flush_workspace(workspace)
         return out
 
     def matches(self, models: Sequence) -> bool:

@@ -216,7 +216,10 @@ def fleet_refresh_report(coordinator) -> FleetRefreshReport:
     ``coordinator`` is a :class:`repro.streaming.RefreshCoordinator`
     (duck-typed: anything with ``stats()`` returning
     :class:`~repro.streaming.coordinator.CoordinatorStats`-shaped fields
-    and a ``max_concurrent_builds`` attribute works).
+    and a ``max_concurrent_builds`` attribute works).  For the
+    process-wide view over *live metrics* (aggregating every coordinator
+    in the process, runtime only) see
+    :func:`fleet_refresh_report_from_registry`.
     """
     stats = coordinator.stats()
     return FleetRefreshReport(
@@ -228,6 +231,107 @@ def fleet_refresh_report(coordinator) -> FleetRefreshReport:
         n_cancelled=int(stats.n_cancelled),
         max_concurrent=int(stats.max_concurrent),
         max_concurrent_builds=int(coordinator.max_concurrent_builds))
+
+
+def fleet_refresh_report_from_registry(registry=None,
+                                       max_concurrent_builds: int = 0
+                                       ) -> FleetRefreshReport:
+    """The same :class:`FleetRefreshReport`, rebuilt as a *view over the
+    live metrics registry* instead of one coordinator's private ledger.
+
+    The coordinator mirrors every admission decision into process-wide
+    counters (see ``docs/observability.md``), so this view aggregates
+    all coordinators in the process and covers the current process
+    lifetime only (registry counters start at zero; checkpointed
+    coordinator counters do not flow back in).  ``max_concurrent`` has
+    no registry mirror (it is a per-coordinator high-water mark) and is
+    reported as the current ``builds_running`` gauge value.
+    """
+    from repro.obs import default_registry
+    registry = registry if registry is not None else default_registry()
+
+    def counter(name: str) -> int:
+        return int(registry.counter(f"repro_coordinator_{name}").value)
+
+    return FleetRefreshReport(
+        n_requests=counter("requests_total"),
+        n_builds=counter("admitted_total"),
+        n_deduped=counter("deduped_total"),
+        n_completed=counter("completed_total"),
+        n_failed=counter("failed_total"),
+        n_cancelled=counter("cancelled_total"),
+        max_concurrent=int(registry.gauge(
+            "repro_coordinator_builds_running").value),
+        max_concurrent_builds=int(max_concurrent_builds))
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeReport:
+    """Serving-side runtime summary, a view over the live metrics
+    registry (see :mod:`repro.obs` and ``docs/observability.md``).
+
+    Complements the post-hoc :class:`StreamReport` with signals only the
+    registry carries: serve-latency quantiles from the streaming
+    histograms, the coordinator's live queue depth / in-flight builds,
+    and total refresh activity — readable at any moment of a run, not
+    just after it ends.  Quantiles are ``None`` until the corresponding
+    path has served at least one batch.
+    """
+    n_updates: int
+    n_alerts: int
+    n_drift_events: int
+    n_refreshes: int
+    update_p50: object
+    update_p95: object
+    update_p99: object
+    batch_p50: object
+    batch_p95: object
+    batch_p99: object
+    queue_depth: int
+    builds_running: int
+
+
+def runtime_report(registry=None) -> RuntimeReport:
+    """Render the streaming registry instruments as a report dataclass.
+
+    Counters aggregate across every (possibly labeled) stream in the
+    process; quantiles come from the global latency histograms.
+
+    >>> from repro.obs import MetricsRegistry
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("repro_stream_updates_total", stream="s0").inc(40)
+    >>> registry.counter("repro_stream_updates_total", stream="s1").inc(2)
+    >>> report = runtime_report(registry)
+    >>> report.n_updates
+    42
+    >>> report.batch_p50 is None       # nothing served through a batch yet
+    True
+    """
+    from repro.obs import Counter, default_registry
+    registry = registry if registry is not None else default_registry()
+    totals = {"updates": 0, "alerts": 0, "drift_events": 0, "refreshes": 0}
+    for instrument in registry.instruments():
+        for kind in totals:
+            if instrument.name == f"repro_stream_{kind}_total" and \
+                    isinstance(instrument, Counter):
+                totals[kind] += instrument.value
+    update = registry.histogram("repro_stream_update_seconds")
+    batch = registry.histogram("repro_stream_update_batch_seconds")
+    return RuntimeReport(
+        n_updates=totals["updates"],
+        n_alerts=totals["alerts"],
+        n_drift_events=totals["drift_events"],
+        n_refreshes=totals["refreshes"],
+        update_p50=update.quantile(0.50),
+        update_p95=update.quantile(0.95),
+        update_p99=update.quantile(0.99),
+        batch_p50=batch.quantile(0.50),
+        batch_p95=batch.quantile(0.95),
+        batch_p99=batch.quantile(0.99),
+        queue_depth=int(registry.gauge(
+            "repro_coordinator_queue_depth").value),
+        builds_running=int(registry.gauge(
+            "repro_coordinator_builds_running").value))
 
 
 def stream_event_report(labels: np.ndarray, alert_indices,

@@ -1,0 +1,47 @@
+"""``repro.obs`` — dependency-free runtime telemetry for serving + refresh.
+
+Three small pieces, all pure stdlib:
+
+* :mod:`repro.obs.registry` — thread-safe counters, gauges and
+  log-bucket streaming histograms in a :class:`MetricsRegistry`;
+  :class:`NullRegistry` disables telemetry at near-zero cost.
+* :mod:`repro.obs.tracing` — span-based tracing with parent/child
+  links and a bounded in-memory ring of finished spans; the streaming
+  stack emits one connected trace per drift-triggered refresh.
+* :mod:`repro.obs.exporters` — Prometheus text rendering, JSON
+  snapshots and a stdlib ``logging`` bridge.
+
+Instrumented code binds to the process-wide defaults
+(:func:`default_registry` / :func:`default_tracer`) unless handed an
+explicit registry; pass ``NullRegistry()`` to switch a component off.
+Telemetry is runtime state, never model state: checkpoints neither
+contain nor restore it (see ``docs/observability.md``).
+
+>>> from repro import obs
+>>> registry = obs.MetricsRegistry()
+>>> with obs.use_registry(registry):
+...     obs.default_registry() is registry
+True
+>>> obs.default_registry() is registry
+False
+"""
+
+from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
+                       NullRegistry, default_registry, log_bucket_edges,
+                       set_default_registry, use_registry)
+from .tracing import (NullTracer, Span, SpanContext, SpanRing, Tracer,
+                      default_tracer, set_default_tracer, trace,
+                      use_tracer)
+from .exporters import (StructuredFormatter, log_metrics, log_spans,
+                        render_prometheus, structured_logger,
+                        write_snapshot)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
+    "default_registry", "set_default_registry", "use_registry",
+    "log_bucket_edges",
+    "NullTracer", "Span", "SpanContext", "SpanRing", "Tracer",
+    "default_tracer", "set_default_tracer", "trace", "use_tracer",
+    "StructuredFormatter", "log_metrics", "log_spans",
+    "render_prometheus", "structured_logger", "write_snapshot",
+]

@@ -1,0 +1,211 @@
+"""Read-side of the telemetry layer: Prometheus text, JSON, logging.
+
+Three export surfaces over the same live instruments:
+
+* :func:`render_prometheus` — Prometheus text exposition format
+  (``# TYPE`` headers, cumulative ``_bucket{le=...}`` histograms), so a
+  scrape endpoint is one ``HTTPServer`` handler away;
+* ``registry.snapshot()`` (on the registry itself) — a JSON-pure dict;
+  :func:`write_snapshot` dumps it to disk for bench artifacts;
+* the stdlib ``logging`` bridge — :class:`StructuredFormatter` renders
+  one ``key=value`` line per event, and :func:`log_metrics` /
+  :func:`log_spans` emit registry and trace contents through any
+  standard logger.
+
+Exporters only read; they never mutate instruments and hold no locks
+beyond each instrument's own.
+
+>>> from repro.obs.registry import MetricsRegistry
+>>> registry = MetricsRegistry()
+>>> registry.counter("jobs_total", queue="fast").inc(3)
+>>> registry.gauge("queue_depth").set(2)
+>>> print(render_prometheus(registry), end="")
+# TYPE jobs_total counter
+jobs_total{queue="fast"} 3
+# TYPE queue_depth gauge
+queue_depth 2
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+from .registry import Counter, Gauge, Histogram
+
+__all__ = [
+    "render_prometheus", "write_snapshot", "StructuredFormatter",
+    "structured_logger", "log_metrics", "log_spans",
+]
+
+
+def _format_number(value) -> str:
+    """Compact numeric rendering: ints stay ints, floats get 6 sig figs."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return format(as_float, ".6g")
+
+
+def _label_text(labels: dict, extra=None) -> str:
+    items = sorted(labels.items())
+    if extra:
+        items = items + [extra]
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in items)
+    return "{" + body + "}"
+
+
+def render_prometheus(registry) -> str:
+    """Render every instrument in Prometheus text exposition format.
+
+    Output is deterministic (instruments sorted by name then labels)
+    so it can be golden-file tested and diffed across scrapes.
+    """
+    lines = []
+    typed = set()
+    for instrument in registry.instruments():
+        name = instrument.name
+        if isinstance(instrument, Counter):
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}{_label_text(instrument.labels)} "
+                         f"{_format_number(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{_label_text(instrument.labels)} "
+                         f"{_format_number(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} histogram")
+            labels = instrument.labels
+            for upper, cumulative in instrument.cumulative_buckets():
+                le = _label_text(labels, ("le", format(upper, ".6g")))
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            inf = _label_text(labels, ("le", "+Inf"))
+            lines.append(f"{name}_bucket{inf} {instrument.count}")
+            lines.append(f"{name}_sum{_label_text(labels)} "
+                         f"{_format_number(instrument.sum)}")
+            lines.append(f"{name}_count{_label_text(labels)} "
+                         f"{instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_snapshot(registry, path, extra_meta=None) -> dict:
+    """Dump ``registry.snapshot()`` (plus optional meta) as JSON to disk."""
+    payload = {"meta": dict(extra_meta or {}),
+               "metrics": registry.snapshot()}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# stdlib logging bridge
+
+
+def _field_text(value) -> str:
+    if isinstance(value, float):
+        return _format_number(value)
+    text = str(value)
+    if not text or " " in text or "=" in text or '"' in text:
+        return json.dumps(text)
+    return text
+
+
+class StructuredFormatter(logging.Formatter):
+    """One ``key=value`` line per event; machine-parseable, human-legible.
+
+    Fields supplied via ``extra={"fields": {...}}`` (or a ``fields``
+    attribute on the record) are appended in sorted order after the
+    fixed ``ts``/``level``/``logger``/``event`` prefix.
+
+    >>> import logging
+    >>> record = logging.LogRecord("repro.obs", logging.INFO, "x.py", 1,
+    ...                            "swap", None, None)
+    >>> record.fields = {"stream": "s1", "lag": 10}
+    >>> StructuredFormatter().format(record)   # doctest: +ELLIPSIS
+    'ts=...T... level=INFO logger=repro.obs event=swap lag=10 stream=s1'
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        timestamp = time.strftime("%Y-%m-%dT%H:%M:%S",
+                                  time.localtime(record.created))
+        parts = [f"ts={timestamp}", f"level={record.levelname}",
+                 f"logger={record.name}",
+                 f"event={_field_text(record.getMessage())}"]
+        fields = getattr(record, "fields", None)
+        if fields:
+            parts.extend(f"{key}={_field_text(value)}"
+                         for key, value in sorted(fields.items()))
+        return " ".join(parts)
+
+
+def structured_logger(name: str = "repro.obs",
+                      level: int = logging.INFO) -> logging.Logger:
+    """A logger wired to stderr through :class:`StructuredFormatter`.
+
+    Idempotent: reuses the handler if one was already attached.
+    """
+    logger = logging.getLogger(name)
+    if not any(isinstance(handler.formatter, StructuredFormatter)
+               for handler in logger.handlers if handler.formatter):
+        handler = logging.StreamHandler()
+        handler.setFormatter(StructuredFormatter())
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger
+
+
+def log_metrics(registry, logger=None, level: int = logging.INFO) -> int:
+    """Emit one structured line per instrument; returns lines emitted."""
+    logger = logger or structured_logger()
+    emitted = 0
+    for instrument in registry.instruments():
+        fields = {"name": instrument.name, **instrument.labels}
+        if isinstance(instrument, Histogram):
+            fields.update({"type": "histogram",
+                           "count": instrument.count,
+                           "sum": instrument.sum,
+                           **{key: value for key, value
+                              in instrument.percentiles().items()
+                              if value is not None}})
+        elif isinstance(instrument, Gauge):
+            fields.update({"type": "gauge", "value": instrument.value})
+        else:
+            fields.update({"type": "counter", "value": instrument.value})
+        logger.log(level, "metric", extra={"fields": fields})
+        emitted += 1
+    return emitted
+
+
+def log_spans(spans, logger=None, level: int = logging.INFO) -> int:
+    """Emit one structured line per finished span; returns lines emitted.
+
+    ``spans`` may be a tracer (its ``finished()`` is used) or an
+    iterable of spans.
+    """
+    logger = logger or structured_logger()
+    if hasattr(spans, "finished"):
+        spans = spans.finished()
+    emitted = 0
+    for span in spans:
+        fields = {"name": span.name, "trace_id": span.trace_id,
+                  "span_id": span.span_id,
+                  "parent_id": span.parent_id or "-",
+                  "duration_ms": (span.duration or 0.0) * 1e3,
+                  **span.attributes}
+        logger.log(level, "span", extra={"fields": fields})
+        emitted += 1
+    return emitted

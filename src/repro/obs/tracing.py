@@ -1,0 +1,323 @@
+"""Span-based tracing with a bounded in-memory ring exporter.
+
+A :class:`Span` is one timed operation: wall-clock start, monotonic
+duration, a name, free-form attributes, and parent/child links through
+``trace_id``/``span_id``/``parent_id``.  Spans are cheap (a dict and two
+clock reads) and threads never share mutable span state — the
+*current-span* stack is thread-local, and cross-thread parentage is
+expressed by passing a :class:`SpanContext` (or the span itself) to
+``start_span(parent=...)`` or by adopting a live span on another thread
+with ``tracer.use(span)``.
+
+Finished spans land in a :class:`SpanRing` — a bounded deque, oldest
+evicted first — so a long-running process keeps the last N spans for
+inspection without unbounded growth.  A span that is never ``end()``-ed
+(an abandoned refresh) simply never exports; there is nothing to leak
+but the object itself.
+
+The refresh lifecycle wiring (see ``docs/observability.md``) builds one
+trace per drift event: a ``refresh`` root opened at the trigger, with
+``refresh.trigger`` / ``refresh.admission`` / ``refresh.build`` /
+``refresh.pack`` / ``refresh.swap`` children, the build-side spans
+created on the worker thread against the root's context.
+
+>>> tracer = Tracer()
+>>> with tracer.span("parent") as parent:
+...     with tracer.span("child") as child:
+...         child.set_attribute("rows", 128)
+>>> child.parent_id == parent.span_id
+True
+>>> child.trace_id == parent.trace_id
+True
+>>> [span.name for span in tracer.finished()]   # children end first
+['child', 'parent']
+>>> tracer.finished()[0].duration >= 0.0
+True
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+__all__ = [
+    "Span", "SpanContext", "SpanRing", "Tracer", "NullTracer",
+    "default_tracer", "set_default_tracer", "use_tracer", "trace",
+]
+
+_ids = itertools.count(1)
+_id_lock = threading.Lock()
+
+
+def _next_id() -> str:
+    with _id_lock:
+        return f"{next(_ids):08x}"
+
+
+class SpanContext:
+    """The immutable part of a span another thread needs for parentage."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self):
+        return f"SpanContext(trace={self.trace_id}, span={self.span_id})"
+
+
+class Span:
+    """One timed operation; ``end()`` is idempotent and exports once."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start_time",
+                 "duration", "attributes", "_start_perf", "_exporter",
+                 "_ended")
+
+    def __init__(self, name: str, trace_id: str, parent_id, exporter):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _next_id()
+        self.parent_id = parent_id
+        self.start_time = time.time()
+        self._start_perf = time.perf_counter()
+        self.duration = None          # seconds; set by end()
+        self.attributes = {}
+        self._exporter = exporter
+        self._ended = False
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def ended(self) -> bool:
+        return self._ended
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def end(self) -> None:
+        if self._ended:
+            return
+        self.duration = time.perf_counter() - self._start_perf
+        self._ended = True
+        if self._exporter is not None:
+            self._exporter.export(self)
+
+    def to_dict(self) -> dict:
+        """JSON-pure rendering (used by exporters and the log bridge)."""
+        return {"name": self.name, "trace_id": self.trace_id,
+                "span_id": self.span_id, "parent_id": self.parent_id,
+                "start_time": self.start_time, "duration": self.duration,
+                "attributes": dict(self.attributes)}
+
+    def __repr__(self):
+        state = f"{self.duration * 1e3:.3f}ms" if self._ended else "open"
+        return f"Span({self.name!r}, {state})"
+
+
+class SpanRing:
+    """Bounded store of finished spans; oldest evicted first."""
+
+    def __init__(self, maxlen: int = 512):
+        self._lock = threading.Lock()
+        self._spans = deque(maxlen=maxlen)
+
+    def export(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self):
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._spans)
+
+
+class Tracer:
+    """Creates spans and tracks the per-thread *current span* stack."""
+
+    enabled = True
+
+    def __init__(self, ring_size: int = 512):
+        self.ring = SpanRing(ring_size)
+        self._local = threading.local()
+
+    # -- current-span stack (thread-local) ---------------------------------
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self):
+        """The innermost active span on this thread, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- span creation -----------------------------------------------------
+    def start_span(self, name: str, parent=None, **attributes) -> Span:
+        """Create a span *without* making it current or scheduling its end.
+
+        ``parent`` may be a :class:`Span`, a :class:`SpanContext`, or
+        ``None`` (inherit this thread's current span; root if none).
+        Manual spans are how cross-thread lifecycles are stitched: the
+        serve thread starts the root, hands ``root.context`` to the
+        build thread, which starts children against it.
+        """
+        if parent is None:
+            parent = self.current()
+        if parent is None:
+            trace_id, parent_id = _next_id(), None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        span = Span(name, trace_id, parent_id, self.ring)
+        for key, value in attributes.items():
+            span.attributes[key] = value
+        return span
+
+    @contextmanager
+    def span(self, name: str, parent=None, **attributes):
+        """Start a child of the current span, make it current, end on exit."""
+        span = self.start_span(name, parent=parent, **attributes)
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            if stack and stack[-1] is span:
+                stack.pop()
+            else:                       # tolerate unbalanced exits
+                try:
+                    stack.remove(span)
+                except ValueError:
+                    pass
+            span.end()
+
+    @contextmanager
+    def use(self, span: Span):
+        """Adopt ``span`` as current on this thread *without* ending it.
+
+        Lets a worker thread nest new spans under a span owned by
+        another thread (e.g. build-side children under the refresh
+        root).
+        """
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            if stack and stack[-1] is span:
+                stack.pop()
+            else:
+                try:
+                    stack.remove(span)
+                except ValueError:
+                    pass
+
+    # -- export ------------------------------------------------------------
+    def finished(self):
+        """Finished spans, oldest first (bounded by the ring size)."""
+        return self.ring.spans()
+
+    def clear(self) -> None:
+        self.ring.clear()
+
+
+class _NullSpan:
+    """Shared inert span for disabled tracing."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = span_id = parent_id = None
+    start_time = 0.0
+    duration = None
+    attributes: dict = {}
+    ended = True
+    context = None
+
+    def set_attribute(self, key, value):
+        pass
+
+    def end(self):
+        pass
+
+    def to_dict(self):
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracing: spans are shared no-ops, nothing is recorded."""
+
+    enabled = False
+
+    def start_span(self, name, parent=None, **attributes):
+        return _NULL_SPAN
+
+    @contextmanager
+    def span(self, name, parent=None, **attributes):
+        yield _NULL_SPAN
+
+    @contextmanager
+    def use(self, span):
+        yield span
+
+    def current(self):
+        return None
+
+    def finished(self):
+        return []
+
+    def clear(self):
+        pass
+
+
+_default_tracer = Tracer()
+_default_lock = threading.Lock()
+
+
+def default_tracer():
+    """The process-wide tracer instrumented code binds to by default."""
+    return _default_tracer
+
+
+def set_default_tracer(tracer):
+    """Replace the process-wide default tracer; returns the old one."""
+    global _default_tracer
+    with _default_lock:
+        previous, _default_tracer = _default_tracer, tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Temporarily swap the process default tracer (tests, isolation)."""
+    previous = set_default_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_default_tracer(previous)
+
+
+@contextmanager
+def trace(name: str, parent=None, **attributes):
+    """``with trace("refresh.pack"):`` — a span on the default tracer.
+
+    Resolves the default tracer at entry, so code using this helper
+    honours :func:`use_tracer` swaps without rebinding.
+    """
+    with _default_tracer.span(name, parent=parent, **attributes) as span:
+        yield span

@@ -58,9 +58,39 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.ensemble import TrainingCancelled
+from ..obs import default_registry, default_tracer
 from .worker import REFIRE_POLICIES, RefreshHandle, _BuildConsumer
 
 ADMISSION_POLICIES = ("fifo", "priority")
+
+
+class _CoordinatorTelemetry:
+    """Registry mirrors of the admission counters plus live gauges.
+
+    The coordinator's internal ``_n_*`` integers stay authoritative
+    (they are per-instance and survive checkpoints); these process-wide
+    instruments aggregate *runtime* admission activity across every
+    coordinator in the process and always start at zero.
+    """
+
+    __slots__ = ("enabled", "requests", "deduped", "admitted", "completed",
+                 "failed", "cancelled", "queue_depth", "builds_running")
+
+    def __init__(self, registry):
+        self.enabled = registry.enabled
+        self.requests = registry.counter(
+            "repro_coordinator_requests_total")
+        self.deduped = registry.counter("repro_coordinator_deduped_total")
+        self.admitted = registry.counter(
+            "repro_coordinator_admitted_total")
+        self.completed = registry.counter(
+            "repro_coordinator_completed_total")
+        self.failed = registry.counter("repro_coordinator_failed_total")
+        self.cancelled = registry.counter(
+            "repro_coordinator_cancelled_total")
+        self.queue_depth = registry.gauge("repro_coordinator_queue_depth")
+        self.builds_running = registry.gauge(
+            "repro_coordinator_builds_running")
 
 
 class AdmissionClosed(RuntimeError):
@@ -106,7 +136,7 @@ class _CoordinatedBuild:
 
     def __init__(self, ensemble, history: np.ndarray, refresher,
                  trigger_index: int, generation: int, priority: int,
-                 seq: int):
+                 seq: int, trace=None):
         self.ensemble = ensemble            # identity is the dedup key
         self.history = history
         self.refresher = refresher          # the leader's policy object
@@ -118,6 +148,9 @@ class _CoordinatedBuild:
         #                                        cancelled
         self.cancel = threading.Event()
         self.subscribers: List[RefreshHandle] = []
+        # The leader's (root_span, admission_span) trace pair, if any;
+        # the build thread parents its build span to the root.
+        self.trace = trace
 
     @property
     def joinable(self) -> bool:
@@ -165,15 +198,19 @@ class CoordinatedRefreshClient(_BuildConsumer):
         return not self.coordinator._shutdown
 
     def submit(self, ensemble, history: np.ndarray, trigger_index: int,
-               generation: Optional[int] = None) -> RefreshHandle:
+               generation: Optional[int] = None,
+               trace=None) -> RefreshHandle:
         """Request a replacement build for ``ensemble`` through admission.
 
         Same contract as ``RefreshWorker.submit`` — ``history`` must be a
         snapshot the caller will not mutate, and at most one request per
-        client may be active.  The returned handle reports ``building``
-        from submission on (even while queued: from the stream's point of
-        view the request is in flight either way) and resolves exactly
-        once.
+        client may be active; ``trace`` is the stream's optional
+        ``(root_span, admission_span)`` pair (the admission span ends at
+        build start, or immediately — marked ``deduped`` — when this
+        request joins an existing build).  The returned handle reports
+        ``building`` from submission on (even while queued: from the
+        stream's point of view the request is in flight either way) and
+        resolves exactly once.
         """
         if self.busy:
             raise RuntimeError("a refresh build is already in flight; "
@@ -182,7 +219,7 @@ class CoordinatedRefreshClient(_BuildConsumer):
             generation = self.refresher.n_refreshes
         handle = self.coordinator._submit(
             self, ensemble, np.asarray(history, dtype=np.float64),
-            int(trigger_index), int(generation))
+            int(trigger_index), int(generation), trace=trace)
         self._handle = handle
         return handle
 
@@ -258,6 +295,7 @@ class RefreshCoordinator:
         self._threads: List[threading.Thread] = []
         self._seq = 0
         self._shutdown = False
+        self._obs = _CoordinatorTelemetry(default_registry())
         # Cumulative counters (survive checkpoints; see state_dict).
         self._n_requests = 0
         self._n_deduped = 0
@@ -320,12 +358,14 @@ class RefreshCoordinator:
             self._shutdown = True
             abandoned = self._queue + self._running
             self._queue = []
+            self._obs.queue_depth.set(0)
             finished: List[RefreshHandle] = []
             for build in abandoned:
                 build.cancel.set()
                 if build.status == "queued":
                     build.status = "cancelled"
                     self._n_cancelled += 1
+                    self._obs.cancelled.inc()
                 for handle in build.subscribers:
                     handle._resolve("discarded")
                     if build.status == "cancelled":
@@ -403,7 +443,7 @@ class RefreshCoordinator:
     # ------------------------------------------------------------------
     def _submit(self, client: CoordinatedRefreshClient, ensemble,
                 history: np.ndarray, trigger_index: int,
-                generation: int) -> RefreshHandle:
+                generation: int, trace=None) -> RefreshHandle:
         handle = RefreshHandle(trigger_index, generation)
         with self._lock:
             if self._shutdown:
@@ -411,6 +451,7 @@ class RefreshCoordinator:
                     "coordinator is shut down; no further refresh builds "
                     "are admitted")
             self._n_requests += 1
+            self._obs.requests.inc()
             for build in self._queue + self._running:
                 # Identity dedup, the save_fleet notion of sharing: only
                 # streams scoring against the very same ensemble object
@@ -418,14 +459,21 @@ class RefreshCoordinator:
                 if build.joinable and build.ensemble is ensemble:
                     build.subscribers.append(handle)
                     self._n_deduped += 1
+                    self._obs.deduped.inc()
+                    if trace is not None:
+                        # The joiner's admission resolves here: its drift
+                        # is answered by the leader's build.
+                        trace[1].set_attribute("deduped", True)
+                        trace[1].end()
                     return handle
             build = _CoordinatedBuild(ensemble, history, client.refresher,
                                       trigger_index, generation,
                                       priority=client.priority,
-                                      seq=self._seq)
+                                      seq=self._seq, trace=trace)
             self._seq += 1
             build.subscribers.append(handle)
             self._queue.append(build)
+            self._obs.queue_depth.set(len(self._queue))
             self._pump_locked()
         return handle
 
@@ -443,6 +491,9 @@ class RefreshCoordinator:
             best.status = "building"
             self._running.append(best)
             self._n_admitted += 1
+            self._obs.admitted.inc()
+            self._obs.queue_depth.set(len(self._queue))
+            self._obs.builds_running.set(len(self._running))
             self._max_concurrent = max(self._max_concurrent,
                                        len(self._running))
             thread = threading.Thread(
@@ -455,6 +506,16 @@ class RefreshCoordinator:
         error: Optional[BaseException] = None
         cancelled = False
         replacement = report = None
+        root, admission = build.trace if build.trace is not None \
+            else (None, None)
+        if admission is not None:
+            admission.end()      # build starts: queue wait is over
+        tracer = default_tracer()
+        build_span = tracer.start_span("refresh.build", parent=root,
+                                       mode="async",
+                                       n_subscribers=len(
+                                           build.subscribers)) \
+            if root is not None else None
         try:
             if build.cancel.is_set():
                 raise TrainingCancelled(0)
@@ -462,7 +523,11 @@ class RefreshCoordinator:
                 # Inside the guard: a raising telemetry hook fails the
                 # build instead of wedging every subscriber in 'building'.
                 self.on_build_start(build)
-            replacement, report = self._call_build(build)
+            if build_span is not None:
+                with tracer.use(build_span):
+                    replacement, report = self._call_build(build)
+            else:
+                replacement, report = self._call_build(build)
             # Pack the fused inference weights on this build thread so
             # none of the subscribers' serving threads pays the packing
             # cost at its boundary swap (no-op for the canonical
@@ -489,12 +554,19 @@ class RefreshCoordinator:
                 # unwanted either way.
                 build.status = "cancelled"
                 self._n_cancelled += 1
+                self._obs.cancelled.inc()
             elif error is not None:
                 build.status = "failed"
                 self._n_failed += 1
+                self._obs.failed.inc()
             else:
                 build.status = "ready"
                 self._n_completed += 1
+                self._obs.completed.inc()
+            self._obs.builds_running.set(len(self._running))
+            if build_span is not None:
+                build_span.set_attribute("status", build.status)
+                build_span.end()
             # Fan-out under the lock: a concurrent submit either joined
             # before this point (and is in the list) or sees the build
             # as no longer joinable and starts a fresh one.
@@ -556,6 +628,8 @@ class RefreshCoordinator:
                             build.status = "cancelled"
                             self._queue.remove(build)
                             self._n_cancelled += 1
+                            self._obs.cancelled.inc()
+                            self._obs.queue_depth.set(len(self._queue))
                             release = list(build.subscribers)
                     break
         # A dequeued build never gets a thread, so its handles must be

@@ -38,6 +38,7 @@ build lands (for tests and draining).
 from __future__ import annotations
 
 import dataclasses
+import time
 import warnings
 from typing import Dict, List, Optional
 
@@ -45,6 +46,7 @@ import numpy as np
 
 from ..core.ensemble import CAEEnsemble
 from ..datasets.windows import sliding_windows
+from ..obs import default_registry, default_tracer
 from .buffer import HistoryBuffer, SlidingWindow, history_buffer_from_state
 from .calibration import calibrator_from_state
 from .coordinator import AdmissionClosed
@@ -53,6 +55,45 @@ from .refresh import RefreshReport
 from .worker import REFIRE_POLICIES, RefreshWorker
 
 REFRESH_MODES = ("inline", "async")
+
+
+class _StreamTelemetry:
+    """One detector's cached instruments (see ``docs/observability.md``).
+
+    Bound at construction (and re-bound on checkpoint resume — telemetry
+    is runtime state, never serialized).  Per-stream *counters* carry a
+    ``stream`` label when the detector is named; latency *histograms*
+    are process-global so fleet cardinality stays bounded.  With a
+    :class:`~repro.obs.NullRegistry` every instrument is a shared no-op
+    and ``enabled`` lets the hot path skip its clock reads entirely.
+    """
+
+    __slots__ = ("enabled", "updates", "update_seconds", "batch_seconds",
+                 "alerts", "drift_events", "refreshes", "history_rows",
+                 "swap_lag", "build_seconds")
+
+    def __init__(self, registry, name: Optional[str]):
+        self.enabled = registry.enabled
+        labels = {"stream": name} if name else {}
+        self.updates = registry.counter("repro_stream_updates_total",
+                                        **labels)
+        self.alerts = registry.counter("repro_stream_alerts_total",
+                                       **labels)
+        self.drift_events = registry.counter(
+            "repro_stream_drift_events_total", **labels)
+        self.refreshes = registry.counter("repro_stream_refreshes_total",
+                                          **labels)
+        self.history_rows = registry.gauge("repro_stream_history_rows",
+                                           **labels)
+        self.update_seconds = registry.histogram(
+            "repro_stream_update_seconds")
+        self.batch_seconds = registry.histogram(
+            "repro_stream_update_batch_seconds")
+        self.build_seconds = registry.histogram(
+            "repro_refresh_build_seconds")
+        self.swap_lag = registry.histogram(
+            "repro_refresh_swap_lag_arrivals", low=1.0, high=1e6,
+            buckets_per_decade=3)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -124,6 +165,17 @@ class StreamingDetector:
                      refresher's corpus settings (checkpoint resume
                      passes the deserialized buffer here; ``history`` is
                      then ignored).
+    registry:        metrics registry for the serve-path and refresh
+                     instruments; None binds the process default
+                     (:func:`repro.obs.default_registry`).  Pass a
+                     :class:`~repro.obs.NullRegistry` to disable this
+                     detector's telemetry at near-zero cost.  Never
+                     serialized: a resumed detector re-binds to the
+                     process default.
+    name:            stream name used as the ``stream`` label on this
+                     detector's per-stream counters (fleets pass the
+                     stream's name); anonymous detectors share the
+                     unlabeled series.
     coordinator:     a fleet-shared
                      :class:`~repro.streaming.coordinator.RefreshCoordinator`
                      through which async builds are admitted (bounded
@@ -139,6 +191,7 @@ class StreamingDetector:
                  drift_detector=None, refresher=None, history: int = 2048,
                  refresh_mode: str = "inline",
                  refresh_refire: str = "queue", history_buffer=None,
+                 registry=None, name: Optional[str] = None,
                  coordinator=None, refresh_priority: int = 0):
         if not ensemble.models:
             raise ValueError("StreamingDetector needs a fitted ensemble")
@@ -153,6 +206,11 @@ class StreamingDetector:
                              "builds; it requires refresh_mode='async'")
         self.coordinator = coordinator
         self.refresh_priority = int(refresh_priority)
+        self.name = name
+        self._bind_telemetry(registry)
+        # The open refresh-lifecycle trace root (runtime state, never
+        # persisted): created at the drift trigger, closed at the swap.
+        self._refresh_trace = None
         self.ensemble = ensemble
         self.calibrator = calibrator
         self.drift_detector = drift_detector
@@ -191,6 +249,22 @@ class StreamingDetector:
         self.refresh_reports: List[RefreshReport] = []
 
     # ------------------------------------------------------------------
+    def _bind_telemetry(self, registry=None) -> None:
+        """Cache this detector's instruments (construction and resume).
+
+        Telemetry is runtime state: it is never serialized into
+        checkpoints, and a resumed detector binds to the process default
+        registry unless handed another one.
+        """
+        self._registry = registry if registry is not None \
+            else default_registry()
+        self._obs = _StreamTelemetry(self._registry, self.name)
+
+    @property
+    def registry(self):
+        """The metrics registry this detector records into."""
+        return self._registry
+
     @property
     def refresher(self):
         return self._refresher
@@ -227,6 +301,19 @@ class StreamingDetector:
         self._pending_refresh = True
         if self._pending_trigger_index is None:
             self._pending_trigger_index = trigger_index
+        # One trace root per refresh lifecycle: opened here (the trigger
+        # or a restore after failure/abandonment when no root is open),
+        # closed by the eventual swap.  An instant refresh.trigger child
+        # marks the requesting arrival.
+        if self._refresh_trace is None:
+            tracer = default_tracer()
+            if tracer.enabled:
+                root = tracer.start_span("refresh",
+                                         stream=self.name or "",
+                                         trigger_index=trigger_index)
+                tracer.start_span("refresh.trigger", parent=root,
+                                  index=trigger_index).end()
+                self._refresh_trace = root
 
     def _sync_refresher_clock(self) -> None:
         """Two-way sync to the later cooldown clock: the detector
@@ -314,7 +401,13 @@ class StreamingDetector:
         if observation.ndim != 1:
             raise ValueError(f"expected a (D,) observation, "
                              f"got shape {observation.shape}")
-        return self.update_batch(observation[None])[0]
+        obs = self._obs
+        if not obs.enabled:
+            return self.update_batch(observation[None])[0]
+        tick = time.perf_counter()
+        update = self.update_batch(observation[None])[0]
+        obs.update_seconds.observe(time.perf_counter() - tick)
+        return update
 
     def update_batch(self, observations: np.ndarray) -> List[StreamUpdate]:
         """Ingest a micro-batch ``(B, D)`` of consecutive arrivals.
@@ -339,6 +432,8 @@ class StreamingDetector:
         n = observations.shape[0]
         if n == 0:
             return []
+        obs = self._obs
+        tick = time.perf_counter() if obs.enabled else 0.0
         # Boundary: adopt a finished background build before scoring, so
         # every score of this batch comes from one ensemble.
         self.poll_refresh()
@@ -384,6 +479,10 @@ class StreamingDetector:
                 update = dataclasses.replace(update, refreshed=True)
                 self._announce_refresh = False
             updates.append(update)
+        if obs.enabled:
+            obs.batch_seconds.observe(time.perf_counter() - tick)
+            obs.updates.inc(n)
+            obs.history_rows.set(len(self._history))
         return updates
 
     def _ingest_score(self, index: int, score: float,
@@ -397,6 +496,8 @@ class StreamingDetector:
         alert = threshold is not None and score > threshold
         if alert:
             self.alerts.append(index)
+            if self._obs.enabled:
+                self._obs.alerts.inc()
         if feed_state and self.calibrator is not None:
             self.calibrator.observe(score)
         event: Optional[DriftEvent] = None
@@ -405,6 +506,8 @@ class StreamingDetector:
             event = self.drift_detector.update(score, index)
         if event is not None:
             self.drift_events.append(event)
+            if self._obs.enabled:
+                self._obs.drift_events.inc()
             if event.kind == "drift" and self._refresher is not None:
                 self._request_refresh(event.index)
         # Beyond the refresher's own gates, retraining needs at least one
@@ -449,11 +552,24 @@ class StreamingDetector:
         trigger = self._pending_trigger_index
         trigger = index if trigger is None else trigger
         generation = len(self.refresh_reports)
+        tracer = default_tracer()
+        root = self._refresh_trace
         if self.refresh_mode == "inline":
-            replacement, report = self._refresher.build(
-                self.ensemble, self._history.to_array(), index,
-                generation=generation, trigger_index=trigger,
-                mode="inline")
+            if root is not None:
+                # Inline builds run on the serving thread: adopt the
+                # lifecycle root so the build (and the refresh.pack span
+                # inside it) nest under this drift's trace.
+                with tracer.use(root), \
+                        tracer.span("refresh.build", mode="inline"):
+                    replacement, report = self._refresher.build(
+                        self.ensemble, self._history.to_array(), index,
+                        generation=generation, trigger_index=trigger,
+                        mode="inline")
+            else:
+                replacement, report = self._refresher.build(
+                    self.ensemble, self._history.to_array(), index,
+                    generation=generation, trigger_index=trigger,
+                    mode="inline")
             self._pending_refresh = False
             self._pending_trigger_index = None
             self._commit_refresh(replacement, report)
@@ -476,13 +592,25 @@ class StreamingDetector:
             # queue policy: the pending trigger waits for the in-flight
             # build to swap before a follow-up build may start.
             return False
+        # The admission span covers submit -> build start (queueing and
+        # dedup happen inside); the worker/coordinator ends it.  The
+        # (root, admission) pair rides along so build-side spans created
+        # on the worker thread join this stream's trace.
+        trace = None
+        if root is not None and tracer.enabled:
+            trace = (root, tracer.start_span("refresh.admission",
+                                             parent=root,
+                                             trigger_index=trigger))
         try:
             self._worker.submit(self.ensemble, self._history.to_array(),
                                 trigger_index=trigger,
-                                generation=generation)
+                                generation=generation, trace=trace)
         except AdmissionClosed:
             # Shutdown raced our accepting check: park the request (the
             # flags were never cleared), same as a closed gate.
+            if trace is not None:
+                trace[1].set_attribute("admission_closed", True)
+                trace[1].end()
             return False
         self._pending_refresh = False
         self._pending_trigger_index = None
@@ -491,6 +619,27 @@ class StreamingDetector:
     def _commit_refresh(self, replacement: CAEEnsemble,
                         report: RefreshReport) -> None:
         """Atomic swap: the old ensemble served every score up to here."""
+        root = self._refresh_trace
+        if root is not None:
+            # Close this drift's lifecycle trace: an instant swap child,
+            # then the root itself (open since the trigger).
+            swap = default_tracer().start_span(
+                "refresh.swap", parent=root,
+                index=getattr(report, "index", None))
+            lag = getattr(report, "swap_lag", None)
+            if lag is not None:
+                swap.set_attribute("swap_lag", lag)
+            swap.end()
+            root.end()
+            self._refresh_trace = None
+        if self._obs.enabled:
+            self._obs.refreshes.inc()
+            seconds = getattr(report, "train_seconds", None)
+            if seconds is not None:
+                self._obs.build_seconds.observe(seconds)
+            lag = getattr(report, "swap_lag", None)
+            if lag is not None and lag > 0:
+                self._obs.swap_lag.observe(lag)
         self.ensemble = replacement
         # Fused inference weights are normally packed on the build
         # thread; make sure they exist before the next score either way
@@ -607,7 +756,8 @@ class StreamingDetector:
 
     @classmethod
     def from_state(cls, ensemble: CAEEnsemble, state: Dict[str, object],
-                   refresher=None, coordinator=None) -> "StreamingDetector":
+                   refresher=None, coordinator=None, registry=None,
+                   name: Optional[str] = None) -> "StreamingDetector":
         """Rebuild a live detector from :meth:`state_dict`.
 
         The refresher holds policy, not stream state, so it is passed in
@@ -620,6 +770,9 @@ class StreamingDetector:
         discard the retained history.  ``coordinator`` (policy, like the
         refresher) re-attaches the resumed detector to a fleet-shared
         admission queue; it only applies to async-mode states.
+        Telemetry is runtime state, not stream state: nothing about it
+        is persisted, and the resumed detector binds to ``registry`` (or
+        the process default) afresh, with ``name`` as its stream label.
         """
         calibrator_state = state.get("calibrator")
         drift_state = state.get("drift_detector")
@@ -634,6 +787,7 @@ class StreamingDetector:
             refresh_mode=refresh_mode,
             refresh_refire=str(state.get("refresh_refire", "queue")),
             history_buffer=history_buffer_from_state(state["history"]),
+            registry=registry, name=name,
             coordinator=coordinator if refresh_mode == "async" else None,
             refresh_priority=int(state.get("refresh_priority", 0)))
         detector._window.load_state_dict(state["window"])

@@ -30,12 +30,23 @@ from .engine import StreamingDetector, StreamUpdate
 
 @dataclasses.dataclass(frozen=True)
 class StreamStats:
-    """Per-stream counters surfaced by :meth:`StreamFleet.stats`."""
+    """Per-stream counters surfaced by :meth:`StreamFleet.stats`.
+
+    The refresh-cost fields are fed from the detector's committed
+    ``refresh_reports``, which both refresh paths populate identically —
+    a private :class:`~repro.streaming.worker.RefreshWorker` and a
+    coordinator-admitted (possibly deduplicated) build alike — so a
+    shared-ensemble fleet reports the training cost behind every
+    stream's swaps, not just worker-path ones.
+    """
     name: str
     n_observations: int
     n_alerts: int
     n_drift_events: int
     n_refreshes: int
+    n_async_refreshes: int = 0
+    refresh_seconds: float = 0.0
+    mean_refresh_lag: Optional[float] = None
 
 
 class StreamFleet:
@@ -211,7 +222,7 @@ class StreamFleet:
                 ensemble_for(name), detector_state,
                 refresher=refresher_factory()
                 if refresher_factory is not None else None,
-                coordinator=coordinator)
+                coordinator=coordinator, name=name)
         return fleet
 
     # ------------------------------------------------------------------
@@ -222,13 +233,47 @@ class StreamFleet:
         stats = []
         for name in selected:
             detector = self._detectors[name]
+            reports = detector.refresh_reports
+            lags = [report.swap_lag for report in reports
+                    if report.trigger_index is not None]
             stats.append(StreamStats(
                 name=name,
                 n_observations=detector.n_observations,
                 n_alerts=detector.n_alerts,
                 n_drift_events=len(detector.drift_events),
-                n_refreshes=detector.n_refreshes))
+                n_refreshes=detector.n_refreshes,
+                n_async_refreshes=sum(1 for report in reports
+                                      if report.mode == "async"),
+                refresh_seconds=float(sum(report.train_seconds
+                                          for report in reports)),
+                mean_refresh_lag=float(sum(lags) / len(lags))
+                if lags else None))
         return stats
+
+    def telemetry(self, registry=None) -> Dict[str, object]:
+        """One JSON-pure dict aggregating the fleet's runtime signals.
+
+        Combines the per-stream counters (:meth:`stats`), the shared
+        coordinator's admission counters (if any) and a snapshot of the
+        metrics registry — the process default unless one is passed.
+        Intended as the fleet's single scrape/inspection surface; see
+        ``docs/observability.md``.
+        """
+        from ..obs import default_registry
+        registry = registry if registry is not None else default_registry()
+        return {
+            "totals": {
+                "n_streams": len(self),
+                "n_observations": self.total_observations,
+                "n_alerts": self.total_alerts,
+                "n_refreshes": sum(d.n_refreshes
+                                   for d in self._detectors.values()),
+            },
+            "streams": [dataclasses.asdict(stat) for stat in self.stats()],
+            "coordinator": dataclasses.asdict(self.coordinator.stats())
+            if self.coordinator is not None else None,
+            "metrics": registry.snapshot(),
+        }
 
     @property
     def total_observations(self) -> int:
@@ -289,6 +334,7 @@ def shared_fleet(ensemble: CAEEnsemble,
             drift_detector=drift_factory() if drift_factory else None,
             refresher=refresher_factory() if refresher_factory else None,
             history=history, refresh_mode=refresh_mode,
-            refresh_refire=refresh_refire, coordinator=coordinator,
+            refresh_refire=refresh_refire, name=name,
+            coordinator=coordinator,
             refresh_priority=priority_for(name) if priority_for else 0)
     return StreamFleet(factory, coordinator=coordinator)

@@ -35,6 +35,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.ensemble import CAEEnsemble
+from ..obs import trace
 from .buffer import (DecayedReservoirBuffer, HistoryBuffer, ReservoirBuffer)
 
 REFRESH_CORPORA = ("ring", "reservoir", "decayed_reservoir")
@@ -246,8 +247,11 @@ class EnsembleRefresher:
         replacement.fit(history, warm_start=ensemble.models,
                         warm_start_fraction=beta, cancel=cancel)
         # Pack the fused inference weights here, on the build thread, so
-        # the serving thread's first post-swap score pays nothing.
-        replacement.prepare_fused()
+        # the serving thread's first post-swap score pays nothing.  The
+        # span nests under the caller's refresh.build span when one is
+        # current on this thread.
+        with trace("refresh.pack", n_models=len(replacement.models)):
+            replacement.prepare_fused()
         copied = sum(r.copied_parameters for r in replacement.transfer_reports)
         total = sum(r.total_parameters for r in replacement.transfer_reports)
         report = RefreshReport(index=index,

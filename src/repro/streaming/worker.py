@@ -32,6 +32,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..obs import default_tracer
+
 REFIRE_POLICIES = ("drop", "queue")
 
 
@@ -215,7 +217,8 @@ class RefreshWorker(_BuildConsumer):
         self._thread: Optional[threading.Thread] = None
 
     def submit(self, ensemble, history: np.ndarray, trigger_index: int,
-               generation: Optional[int] = None) -> RefreshHandle:
+               generation: Optional[int] = None,
+               trace=None) -> RefreshHandle:
         """Start a background build of a replacement for ``ensemble``.
 
         ``history`` must be a snapshot the caller will not mutate (the
@@ -223,6 +226,10 @@ class RefreshWorker(_BuildConsumer):
         ensemble is only read.  ``generation`` pins the build's seed
         offset (the engine passes its committed-refresh count, which —
         unlike the refresher's own — survives checkpoint resume).
+        ``trace`` is an optional ``(root_span, admission_span)`` pair
+        from the submitting stream's refresh trace: the admission span is
+        ended when the build starts and the build span is parented to the
+        root, so the cross-thread lifecycle reads as one trace.
         Raises if a build is already in flight.
         """
         if self.busy:
@@ -234,25 +241,44 @@ class RefreshWorker(_BuildConsumer):
         history = np.asarray(history, dtype=np.float64)
         self._handle = handle
         self._thread = threading.Thread(
-            target=self._run, args=(handle, ensemble, history),
+            target=self._run, args=(handle, ensemble, history, trace),
             name=f"refresh-build-{trigger_index}", daemon=True)
         self._thread.start()
         return handle
 
     def _run(self, handle: RefreshHandle, ensemble,
-             history: np.ndarray) -> None:
+             history: np.ndarray, trace=None) -> None:
+        root, admission = trace if trace is not None else (None, None)
+        if admission is not None:
+            admission.end()      # build starts: queueing/admission over
+        tracer = default_tracer()
+        build_span = tracer.start_span("refresh.build", parent=root,
+                                       mode="async") \
+            if root is not None else None
         try:
             # The start-hook runs inside the guard: a raising telemetry
             # hook fails the build (surfaced at the next boundary)
             # instead of wedging the handle in 'building' forever.
             if self.on_build_start is not None:
                 self.on_build_start(handle)
-            replacement, report = self.refresher.build(
-                ensemble, history, handle.trigger_index,
-                generation=handle.generation,
-                trigger_index=handle.trigger_index, mode="async")
+            if build_span is not None:
+                # Current-span adoption, so refresh.pack (inside the
+                # canonical refresher's build) nests under the build.
+                with tracer.use(build_span):
+                    replacement, report = self.refresher.build(
+                        ensemble, history, handle.trigger_index,
+                        generation=handle.generation,
+                        trigger_index=handle.trigger_index, mode="async")
+            else:
+                replacement, report = self.refresher.build(
+                    ensemble, history, handle.trigger_index,
+                    generation=handle.generation,
+                    trigger_index=handle.trigger_index, mode="async")
         except Exception as error:
             handle._finish("failed", error=error)
+            if build_span is not None:
+                build_span.set_attribute("status", "failed")
+                build_span.end()
         else:
             # Duck-typed refreshers may build real ensembles without the
             # canonical EnsembleRefresher.build: make sure the fused
@@ -262,6 +288,9 @@ class RefreshWorker(_BuildConsumer):
             if prepare is not None:
                 prepare()
             handle._finish("ready", replacement=replacement, report=report)
+            if build_span is not None:
+                build_span.set_attribute("status", handle.status)
+                build_span.end()
         try:
             if self.on_build_done is not None:
                 self.on_build_done(handle)

@@ -18,6 +18,10 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 # lane runs --doctest-modules over the same set).
 DOCTESTED_MODULES = [
     "repro.metrics.events",
+    "repro.obs",
+    "repro.obs.exporters",
+    "repro.obs.registry",
+    "repro.obs.tracing",
     "repro.streaming.buffer",
     "repro.streaming.calibration",
     "repro.streaming.coordinator",
@@ -29,7 +33,8 @@ DOCTESTED_MODULES = [
 ]
 
 MARKDOWN_FILES = ["README.md", "PAPER.md", "ROADMAP.md", "CHANGES.md",
-                  "docs/architecture.md", "docs/checkpoints.md"]
+                  "docs/architecture.md", "docs/checkpoints.md",
+                  "docs/observability.md"]
 
 
 class TestIntraRepoLinks:
@@ -54,7 +59,7 @@ class TestIntraRepoLinks:
         readme = (REPO_ROOT / "README.md").read_text()
         for needle in ("Install", "Quickstart", "repro.experiments",
                        "shared_fleet", "Benchmark index",
-                       "Repository map"):
+                       "Repository map", "Observability"):
             assert needle in readme, f"README lacks {needle!r}"
 
 

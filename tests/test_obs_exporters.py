@@ -1,0 +1,141 @@
+"""Tests for the telemetry read side (:mod:`repro.obs.exporters`).
+
+The Prometheus rendering is golden-file tested: its output is promised
+deterministic (sorted instruments, trimmed cumulative buckets, ``.6g``
+numbers) so scrapes diff cleanly across runs — any formatting drift
+shows up as a one-line golden diff here.  The JSON snapshot is tested as
+a disk round-trip, and the logging bridge line format via a capturing
+handler.
+"""
+
+import json
+import logging
+import os
+
+import pytest
+
+from repro.obs import (MetricsRegistry, StructuredFormatter, Tracer,
+                       log_metrics, log_spans, render_prometheus,
+                       structured_logger, write_snapshot)
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data",
+                      "prometheus_golden.txt")
+
+
+def make_demo_registry() -> MetricsRegistry:
+    """Fixed observations -> byte-stable exposition output."""
+    registry = MetricsRegistry()
+    registry.counter("repro_demo_requests_total", queue="fast").inc(3)
+    registry.counter("repro_demo_requests_total", queue="slow").inc(1)
+    registry.gauge("repro_demo_queue_depth").set(2)
+    histogram = registry.histogram("repro_demo_latency_seconds", low=1e-3,
+                                   high=10.0, buckets_per_decade=3)
+    for value in (0.002, 0.004, 0.004, 0.5):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_rendering_matches_golden_file(self):
+        with open(GOLDEN) as handle:
+            golden = handle.read()
+        assert render_prometheus(make_demo_registry()) == golden
+
+    def test_golden_file_shape(self):
+        """Independent of exact formatting: one # TYPE per metric name,
+        cumulative buckets ending in +Inf, _sum/_count present."""
+        text = render_prometheus(make_demo_registry())
+        lines = text.strip().split("\n")
+        types = [line for line in lines if line.startswith("# TYPE")]
+        assert types == [
+            "# TYPE repro_demo_latency_seconds histogram",
+            "# TYPE repro_demo_queue_depth gauge",
+            "# TYPE repro_demo_requests_total counter",
+        ]
+        buckets = [line for line in lines if "_bucket{" in line]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)          # cumulative
+        assert buckets[-1].startswith(
+            'repro_demo_latency_seconds_bucket{le="+Inf"} 4')
+        assert "repro_demo_latency_seconds_sum 0.51" in lines
+        assert "repro_demo_latency_seconds_count 4" in lines
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestSnapshotRoundTrip:
+    def test_write_snapshot_round_trips_through_json(self, tmp_path):
+        registry = make_demo_registry()
+        path = tmp_path / "telemetry.json"
+        payload = write_snapshot(registry, str(path),
+                                 extra_meta={"commit": "abc123"})
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded == payload
+        assert loaded["meta"] == {"commit": "abc123"}
+        assert loaded["metrics"] == registry.snapshot()
+        [latency] = loaded["metrics"]["histograms"]
+        assert latency["count"] == 4
+        assert latency["p50"] == pytest.approx(0.004, rel=0.3)
+        assert latency["buckets"][-1]["count"] == 4
+
+
+class CapturingHandler(logging.Handler):
+    def __init__(self):
+        super().__init__()
+        self.lines = []
+        self.setFormatter(StructuredFormatter())
+
+    def emit(self, record):
+        self.lines.append(self.format(record))
+
+
+class TestLoggingBridge:
+    def make_logger(self, name):
+        logger = logging.getLogger(name)
+        logger.handlers.clear()
+        logger.propagate = False
+        logger.setLevel(logging.INFO)
+        handler = CapturingHandler()
+        logger.addHandler(handler)
+        return logger, handler
+
+    def test_formatter_renders_sorted_fields(self):
+        record = logging.LogRecord("repro.obs", logging.INFO, "x.py", 1,
+                                   "swap", None, None)
+        record.fields = {"stream": "s one", "lag": 10, "ratio": 0.25}
+        line = StructuredFormatter().format(record)
+        prefix, _, fields = line.partition(" event=")
+        assert prefix.startswith("ts=") and "level=INFO" in prefix
+        assert fields == 'swap lag=10 ratio=0.25 stream="s one"'
+
+    def test_log_metrics_emits_one_line_per_instrument(self):
+        logger, handler = self.make_logger("test.obs.metrics")
+        emitted = log_metrics(make_demo_registry(), logger)
+        assert emitted == 4 == len(handler.lines)
+        counter_line = next(line for line in handler.lines
+                            if "queue=fast" in line)
+        assert "type=counter" in counter_line and "value=3" in counter_line
+        histogram_line = next(line for line in handler.lines
+                              if "type=histogram" in line)
+        assert "count=4" in histogram_line and "p50=" in histogram_line
+
+    def test_log_spans_accepts_tracer_or_iterable(self):
+        logger, handler = self.make_logger("test.obs.spans")
+        tracer = Tracer()
+        with tracer.span("refresh", stream="s1"):
+            with tracer.span("refresh.build"):
+                pass
+        assert log_spans(tracer, logger) == 2
+        assert log_spans(tracer.finished(), logger) == 2
+        build_line = handler.lines[0]
+        assert "name=refresh.build" in build_line
+        assert "duration_ms=" in build_line and "parent_id=" in build_line
+
+    def test_structured_logger_is_idempotent(self):
+        logger = structured_logger("test.obs.idempotent")
+        n_handlers = len(logger.handlers)
+        again = structured_logger("test.obs.idempotent")
+        assert again is logger
+        assert len(again.handlers) == n_handlers

@@ -1,0 +1,345 @@
+"""End-to-end observability over the streaming refresh lifecycle.
+
+The acceptance scenario for the telemetry layer: one induced drift on a
+coordinator-backed detector yields ONE connected trace — root ``refresh``
+with ``refresh.trigger`` / ``refresh.admission`` / ``refresh.build`` /
+``refresh.pack`` / ``refresh.swap`` children and the pack span nested
+under the build span created on the worker thread.  Alongside: serve
+histograms populate and export, telemetry never leaks into checkpoints,
+dedup subscribers report refresh cost symmetrically in
+:class:`~repro.streaming.StreamStats`, and the registry stays coherent
+while serving races a gated background build.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.metrics.events import (fleet_refresh_report_from_registry,
+                                  runtime_report)
+from repro.obs import (MetricsRegistry, Tracer, render_prometheus,
+                       use_registry, use_tracer)
+from repro.streaming import (EnsembleRefresher, RefreshCoordinator,
+                             StreamFleet, StreamingDetector)
+from repro.streaming.refresh import RefreshReport
+from tests.conftest import sine_regime
+from tests.test_streaming_worker import (ConstantEnsemble, FireAt,
+                                         SlowRefresher, wait_build_started)
+
+GATE_TIMEOUT = 30.0
+
+
+class CostedRefresher(SlowRefresher):
+    """Gated stub whose reports carry a visible build cost."""
+
+    TRAIN_SECONDS = 0.25
+
+    def build(self, ensemble, history, index, generation=None,
+              trigger_index=None, mode="inline", cancel=None):
+        replacement, report = super().build(
+            ensemble, history, index, generation=generation,
+            trigger_index=trigger_index, mode=mode)
+        report = RefreshReport(
+            index=report.index, history_length=report.history_length,
+            train_seconds=self.TRAIN_SECONDS,
+            warm_start_fraction=report.warm_start_fraction,
+            copied_fraction=report.copied_fraction,
+            trigger_index=report.trigger_index, mode=report.mode)
+        return replacement, report
+
+
+class TestConnectedTrace:
+    def test_one_drift_yields_one_connected_trace(self, stream_ensemble):
+        """Real coordinator, real warm-started build: every lifecycle
+        span shares the root's trace id with correct parentage, and the
+        pack span (created inside the build on the worker thread) nests
+        under the build span."""
+        tracer = Tracer()
+        coordinator = RefreshCoordinator(max_concurrent_builds=1)
+        with use_tracer(tracer), use_registry(MetricsRegistry()):
+            refresher = EnsembleRefresher(cooldown=0, epochs_per_model=1)
+            detector = StreamingDetector(
+                stream_ensemble, drift_detector=FireAt(30),
+                refresher=refresher, history=64, refresh_mode="async",
+                coordinator=coordinator, name="traced")
+            detector.warm_up(sine_regime(7, start=353))
+            detector.update_batch(sine_regime(40, start=360))
+            assert detector.wait_for_refresh(GATE_TIMEOUT)
+            assert detector.n_refreshes == 1
+            assert coordinator.drain(GATE_TIMEOUT)
+
+        spans = {span.name: span for span in tracer.finished()}
+        assert set(spans) == {"refresh", "refresh.trigger",
+                              "refresh.admission", "refresh.build",
+                              "refresh.pack", "refresh.swap"}
+        root = spans["refresh"]
+        assert root.parent_id is None
+        assert root.attributes["stream"] == "traced"
+        assert root.attributes["trigger_index"] == 30
+        # One trace: every span carries the root's trace id.
+        assert all(span.trace_id == root.trace_id
+                   for span in spans.values())
+        # Lifecycle children hang off the root; pack nests in the build.
+        for child in ("refresh.trigger", "refresh.admission",
+                      "refresh.build", "refresh.swap"):
+            assert spans[child].parent_id == root.span_id, child
+        assert spans["refresh.pack"].parent_id == \
+            spans["refresh.build"].span_id
+        assert spans["refresh.build"].attributes["mode"] == "async"
+        assert spans["refresh.build"].attributes["status"] == "ready"
+        assert spans["refresh.pack"].attributes["n_models"] == \
+            len(stream_ensemble.models)
+        assert spans["refresh.swap"].attributes["swap_lag"] >= 0
+        # Every span closed; durations are sane (build covers pack).
+        assert all(span.duration >= 0.0 for span in spans.values())
+        assert spans["refresh.build"].duration >= \
+            spans["refresh.pack"].duration
+
+    def test_deduped_subscriber_trace_is_marked_and_closed(
+            self, stream_ensemble):
+        """The follower of a deduped build gets its admission span ended
+        with deduped=True, and still closes its own root at its swap."""
+        tracer = Tracer()
+        coordinator = RefreshCoordinator(max_concurrent_builds=2)
+        gate = threading.Event()
+        with use_tracer(tracer), use_registry(MetricsRegistry()):
+            detectors = []
+            for name in ("leader", "follower"):
+                refresher = SlowRefresher(
+                    ConstantEnsemble(9.0, stream_ensemble.cae_config),
+                    gate)
+                detector = StreamingDetector(
+                    stream_ensemble, drift_detector=FireAt(30),
+                    refresher=refresher, history=64,
+                    refresh_mode="async", coordinator=coordinator,
+                    name=name)
+                detector.warm_up(sine_regime(7, start=353))
+                detectors.append((detector, refresher))
+            for detector, _ in detectors:
+                detector.update_batch(sine_regime(40, start=360))
+            assert wait_build_started(detectors[0][1])
+            assert coordinator.stats().n_deduped == 1
+            gate.set()
+            for detector, _ in detectors:
+                assert detector.wait_for_refresh(GATE_TIMEOUT)
+            assert coordinator.drain(GATE_TIMEOUT)
+
+        spans = tracer.finished()
+        roots = [span for span in spans if span.name == "refresh"]
+        admissions = [span for span in spans
+                      if span.name == "refresh.admission"]
+        assert len(roots) == 2 and len(admissions) == 2
+        assert roots[0].trace_id != roots[1].trace_id   # one per stream
+        deduped = [span for span in admissions
+                   if span.attributes.get("deduped")]
+        assert len(deduped) == 1
+        # Exactly one build span, attributed to the leader's trace.
+        builds = [span for span in spans if span.name == "refresh.build"]
+        assert len(builds) == 1
+        leader_root = next(root for root in roots
+                           if root.span_id == builds[0].parent_id)
+        assert deduped[0].trace_id != leader_root.trace_id
+
+
+class TestServeMetricsExport:
+    def test_serve_histograms_populate_and_export(self, stream_ensemble):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            stream_ensemble.invalidate_fused()
+            stream_ensemble.prepare_fused()    # fused chunk instruments
+            detector = StreamingDetector(stream_ensemble, history=64,
+                                         name="serve")
+            detector.warm_up(sine_regime(7, start=353))
+            detector.update_batch(sine_regime(64, start=360))
+            detector.update(sine_regime(1, start=424)[0])
+
+        snapshot = registry.snapshot()
+        histograms = {entry["name"]: entry
+                      for entry in snapshot["histograms"]}
+        batch = histograms["repro_stream_update_batch_seconds"]
+        assert batch["count"] == 2             # update() delegates too
+        assert batch["p50"] is not None and batch["p99"] is not None
+        assert histograms["repro_stream_update_seconds"]["count"] == 1
+        assert histograms["repro_fused_chunk_seconds"]["count"] >= 1
+        counters = {(entry["name"], tuple(sorted(entry["labels"].items()))):
+                    entry["value"] for entry in snapshot["counters"]}
+        assert counters[("repro_stream_updates_total",
+                         (("stream", "serve"),))] == 65
+        assert counters[("repro_fused_windows_total", ())] >= 65
+        gauges = {entry["name"]: entry["value"]
+                  for entry in snapshot["gauges"]}
+        assert gauges["repro_stream_history_rows"] == 64  # ring is full
+        # The same instruments surface through the Prometheus renderer.
+        text = render_prometheus(registry)
+        assert "repro_stream_update_batch_seconds_bucket" in text
+        assert 'repro_stream_updates_total{stream="serve"} 65' in text
+        # ... and through the report view over the live registry.
+        report = runtime_report(registry)
+        assert report.n_updates == 65
+        assert report.batch_p50 == pytest.approx(batch["p50"])
+        assert report.queue_depth == 0
+
+    def test_null_registry_detector_records_nothing(self, stream_ensemble):
+        from repro.obs import NullRegistry
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            detector = StreamingDetector(stream_ensemble, history=64,
+                                         registry=NullRegistry())
+            detector.warm_up(sine_regime(7, start=353))
+            detector.update_batch(sine_regime(16, start=360))
+        assert registry.snapshot()["counters"] == []
+
+
+class TestCheckpointExclusion:
+    def test_telemetry_never_serialises_into_state(self, stream_ensemble):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            detector = StreamingDetector(stream_ensemble, history=64,
+                                         name="ckpt")
+            detector.warm_up(sine_regime(7, start=353))
+            detector.update_batch(sine_regime(32, start=360))
+        state = detector.state_dict()
+        rendered = json.dumps(state)           # JSON-pure, so greppable
+        for needle in ("telemetry", "registry", "_obs", "histogram",
+                       "trace_id", "span"):
+            assert needle not in rendered, needle
+
+        # Resume under a fresh registry: recording continues from zero.
+        resumed_registry = MetricsRegistry()
+        resumed = StreamingDetector.from_state(
+            stream_ensemble, state, registry=resumed_registry,
+            name="ckpt")
+        resumed.update_batch(sine_regime(8, start=392))
+        counters = {entry["name"]: entry["value"]
+                    for entry in resumed_registry.snapshot()["counters"]}
+        assert counters["repro_stream_updates_total"] == 8
+
+
+class TestFleetRefreshCostSymmetry:
+    def test_dedup_subscribers_report_refresh_cost(self, stream_ensemble):
+        """Regression: both streams of a deduped build report the build
+        cost in StreamStats — the follower's stats must not look free
+        just because the leader's refresher trained."""
+        registry = MetricsRegistry()
+        # The coordinator binds its registry mirrors at construction —
+        # build it inside the use_registry scope.
+        with use_registry(registry):
+            coordinator = RefreshCoordinator(max_concurrent_builds=2)
+        # Held closed until BOTH streams have submitted, so the second
+        # request deterministically dedups into the first build instead
+        # of racing a build that may already have finished.
+        gate = threading.Event()
+        refreshers = {}
+
+        def factory(name):
+            refresher = CostedRefresher(
+                ConstantEnsemble(9.0, stream_ensemble.cae_config), gate)
+            refreshers[name] = refresher
+            detector = StreamingDetector(
+                stream_ensemble, drift_detector=FireAt(30),
+                refresher=refresher, history=64, refresh_mode="async",
+                coordinator=coordinator, name=name)
+            detector.warm_up(sine_regime(7, start=353))
+            return detector
+
+        with use_registry(registry):
+            fleet = StreamFleet(factory, coordinator=coordinator)
+            for name in ("a", "b"):
+                fleet.update_batch(name, sine_regime(40, start=360))
+            assert wait_build_started(refreshers["a"])
+            assert coordinator.stats().n_deduped == 1
+            gate.set()
+            for name in ("a", "b"):
+                assert fleet.detector(name).wait_for_refresh(GATE_TIMEOUT)
+
+        stats = coordinator.stats()
+        assert stats.n_admitted == 1 and stats.n_deduped == 1
+        for stat in fleet.stats():
+            assert stat.n_refreshes == 1
+            assert stat.n_async_refreshes == 1
+            assert stat.refresh_seconds == \
+                pytest.approx(CostedRefresher.TRAIN_SECONDS)
+            assert stat.mean_refresh_lag is not None
+            assert stat.mean_refresh_lag >= 0.0
+
+        # The fleet's one-call inspection surface agrees.
+        telemetry = fleet.telemetry(registry=registry)
+        assert telemetry["totals"]["n_streams"] == 2
+        assert telemetry["totals"]["n_refreshes"] == 2
+        assert telemetry["coordinator"]["n_deduped"] == 1
+        assert json.loads(json.dumps(telemetry)) == telemetry
+        names = {entry["name"]
+                 for entry in telemetry["metrics"]["counters"]}
+        assert "repro_coordinator_deduped_total" in names
+        # Registry-backed admission report mirrors the coordinator's.
+        from_registry = fleet_refresh_report_from_registry(
+            registry, max_concurrent_builds=2)
+        assert from_registry.n_requests == stats.n_requests
+        assert from_registry.n_deduped == stats.n_deduped
+        assert from_registry.builds_saved == 1
+        # Both subscriber streams observed the build cost per-stream.
+        build = next(entry
+                     for entry in telemetry["metrics"]["histograms"]
+                     if entry["name"] == "repro_refresh_build_seconds")
+        assert build["count"] == 2
+
+
+class TestRegistryUnderConcurrency:
+    def test_serving_stays_coherent_while_a_build_races(
+            self, stream_ensemble):
+        """Gated build held open while the serve path keeps recording:
+        counters stay exact, the snapshot renders mid-race, and totals
+        line up once the build lands."""
+        registry = MetricsRegistry()
+        gate = threading.Event()
+        with use_registry(registry):
+            coordinator = RefreshCoordinator(max_concurrent_builds=1)
+            refresher = CostedRefresher(
+                ConstantEnsemble(9.0, stream_ensemble.cae_config), gate)
+            detector = StreamingDetector(
+                stream_ensemble, drift_detector=FireAt(30),
+                refresher=refresher, history=64, refresh_mode="async",
+                coordinator=coordinator, name="raced")
+            detector.warm_up(sine_regime(7, start=353))
+            detector.update_batch(sine_regime(40, start=360))
+            assert wait_build_started(refresher)
+
+            # Serve concurrently from several threads against the held
+            # build (each thread its own detector name-sharing the
+            # instruments), plus the original on the main thread.
+            n_threads, per_thread = 4, 4
+
+            def serve(offset):
+                worker = StreamingDetector(stream_ensemble, history=64,
+                                           name="raced")
+                worker.warm_up(sine_regime(7, start=353))
+                for i in range(per_thread):
+                    worker.update_batch(
+                        sine_regime(8, start=500 + offset * 100 + i * 8))
+
+            threads = [threading.Thread(target=serve, args=(t,))
+                       for t in range(n_threads)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            snapshot = registry.snapshot()     # renders mid-race
+            assert json.loads(json.dumps(snapshot)) == snapshot
+            gate.set()
+            assert detector.wait_for_refresh(GATE_TIMEOUT)
+            assert coordinator.drain(GATE_TIMEOUT)
+
+        counters = {(entry["name"],
+                     tuple(sorted(entry["labels"].items()))):
+                    entry["value"]
+                    for entry in registry.snapshot()["counters"]}
+        expected = 40 + n_threads * per_thread * 8
+        assert counters[("repro_stream_updates_total",
+                         (("stream", "raced"),))] == expected
+        assert counters[("repro_coordinator_completed_total", ())] == 1
+        batches = 1 + n_threads * per_thread
+        histograms = {entry["name"]: entry
+                      for entry in registry.snapshot()["histograms"]}
+        assert histograms["repro_stream_update_batch_seconds"]["count"] \
+            == batches

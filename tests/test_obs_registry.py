@@ -1,0 +1,204 @@
+"""Unit tests for the metrics registry (:mod:`repro.obs.registry`).
+
+The histogram's accuracy contract is the load-bearing one: log-spaced
+buckets at 9 per decade promise p50/p95/p99 within one bucket *ratio*
+(10^(1/9) ~ 1.292x) of the exact sample quantile at any latency scale —
+verified here against numpy on heavy-tailed data.  The rest pins the
+get-or-create registry semantics, thread-safety under contention, and
+the NullRegistry contract instrumented hot paths rely on.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (Counter, Gauge, Histogram, MetricsRegistry,
+                       NullRegistry, default_registry, log_bucket_edges,
+                       use_registry)
+
+BUCKET_RATIO = 10.0 ** (1.0 / 9.0)         # default geometry
+
+
+class TestBucketGeometry:
+    def test_edges_cover_the_range_log_spaced(self):
+        edges = log_bucket_edges(1e-6, 600.0, 9)
+        assert edges[0] == pytest.approx(1e-6)
+        assert edges[-1] >= 600.0
+        ratios = [b / a for a, b in zip(edges, edges[1:])]
+        assert all(r == pytest.approx(BUCKET_RATIO) for r in ratios)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            log_bucket_edges(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_bucket_edges(1.0, 1.0)
+
+    def test_custom_geometry_flows_through_registry(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lag", low=1.0, high=1e6,
+                               buckets_per_decade=3)
+        assert h.edges[0] == pytest.approx(1.0)
+        assert h.edges[-1] >= 1e6
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_within_one_bucket_ratio_of_numpy(self):
+        """Heavy-tailed latencies spanning ~4 decades: every reported
+        quantile stays within one bucket ratio of the exact value."""
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-6.0, sigma=1.5, size=20_000)
+        h = Histogram("latency_seconds", {})
+        for value in samples:
+            h.observe(float(value))
+        for q in (0.50, 0.90, 0.95, 0.99):
+            exact = float(np.quantile(samples, q))
+            estimate = h.quantile(q)
+            assert exact / BUCKET_RATIO <= estimate <= exact * BUCKET_RATIO
+
+    def test_empty_histogram_reports_none(self):
+        h = Histogram("empty", {})
+        assert h.quantile(0.5) is None
+        assert h.percentiles() == {"p50": None, "p95": None, "p99": None}
+        assert h.cumulative_buckets() == []
+
+    def test_estimates_clamped_to_observed_range(self):
+        """A single observation: every quantile IS that observation, not
+        a bucket-edge interpolation outside the data."""
+        h = Histogram("one", {})
+        h.observe(0.0037)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == pytest.approx(0.0037)
+
+    def test_overflow_bucket_reports_max(self):
+        h = Histogram("over", {}, edges=log_bucket_edges(1e-3, 1.0, 3))
+        h.observe(50.0)                        # beyond the last edge
+        assert h.quantile(0.99) == pytest.approx(50.0)
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", {}).quantile(1.5)
+
+    def test_time_context_observes_elapsed_seconds(self):
+        h = Histogram("timed", {})
+        with h.time():
+            pass
+        assert h.count == 1
+        assert 0.0 <= h.max < 1.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests_total", queue="fast")
+        b = registry.counter("requests_total", queue="fast")
+        other = registry.counter("requests_total", queue="slow")
+        assert a is b and a is not other
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("depth")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("depth")
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == pytest.approx(3.0)
+
+    def test_snapshot_is_json_pure(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", queue="fast").inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("latency_seconds").observe(0.004)
+        registry.histogram("never_observed")
+        snapshot = registry.snapshot()
+        parsed = json.loads(json.dumps(snapshot))       # round-trips
+        assert parsed == snapshot
+        latency, never = parsed["histograms"]
+        assert latency["count"] == 1
+        assert latency["p50"] == pytest.approx(0.004)
+        assert never["p50"] is None and never["min"] is None
+
+    def test_counter_inc_is_thread_safe(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        histogram = registry.histogram("latency_seconds")
+        n_threads, per_thread = 8, 5_000
+
+        def hammer(seed):
+            for i in range(per_thread):
+                counter.inc()
+                histogram.observe(1e-4 * (seed + 1))
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == n_threads * per_thread
+        assert histogram.count == n_threads * per_thread
+
+    def test_concurrent_get_or_create_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            seen.append(registry.counter("raced_total"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(instrument is seen[0] for instrument in seen)
+        seen[0].inc()
+        assert registry.counter("raced_total").value == 1
+
+
+class TestNullRegistry:
+    def test_every_instrument_is_a_shared_noop(self):
+        null = NullRegistry()
+        assert not null.enabled
+        counter = null.counter("a_total", queue="x")
+        assert counter is null.gauge("b") is null.histogram("c")
+        counter.inc()
+        counter.observe(1.0)
+        counter.set(5)
+        with counter.time():
+            pass
+        assert counter.value == 0
+        assert counter.quantile(0.5) is None
+        assert null.snapshot() == {"counters": [], "gauges": [],
+                                   "histograms": []}
+
+    def test_use_registry_swaps_and_restores_the_default(self):
+        original = default_registry()
+        replacement = MetricsRegistry()
+        with use_registry(replacement) as active:
+            assert active is replacement
+            assert default_registry() is replacement
+        assert default_registry() is original
+
+    def test_use_registry_restores_on_error(self):
+        original = default_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry(NullRegistry()):
+                raise RuntimeError("boom")
+        assert default_registry() is original
+
+
+class TestInstrumentTypes:
+    def test_real_instruments_report_enabled(self):
+        registry = MetricsRegistry()
+        assert registry.enabled
+        assert isinstance(registry.counter("c"), Counter)
+        assert isinstance(registry.gauge("g"), Gauge)
+        assert isinstance(registry.histogram("h"), Histogram)
+        assert registry.counter("c").enabled

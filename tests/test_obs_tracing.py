@@ -1,0 +1,160 @@
+"""Unit tests for span tracing (:mod:`repro.obs.tracing`).
+
+The contracts the refresh-lifecycle wiring depends on: parent/child and
+trace-id propagation through the thread-local current-span stack,
+cross-thread stitching via ``start_span(parent=...)`` and
+``tracer.use()``, the bounded ring exporter, and idempotent ``end()``.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import (NullTracer, SpanContext, SpanRing, Tracer,
+                       default_tracer, trace, use_tracer)
+
+
+class TestSpanLifecycle:
+    def test_nested_spans_link_parent_child(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                assert tracer.current() is child
+            assert tracer.current() is parent
+        assert tracer.current() is None
+        assert child.parent_id == parent.span_id
+        assert child.trace_id == parent.trace_id
+        assert parent.parent_id is None
+
+    def test_finished_spans_export_children_first(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        assert [span.name for span in tracer.finished()] == \
+            ["child", "parent"]
+
+    def test_end_is_idempotent_and_exports_once(self):
+        tracer = Tracer()
+        span = tracer.start_span("once")
+        span.end()
+        first_duration = span.duration
+        span.end()
+        assert span.duration == first_duration
+        assert len(tracer.finished()) == 1
+
+    def test_unended_span_never_exports(self):
+        tracer = Tracer()
+        tracer.start_span("abandoned")
+        assert tracer.finished() == []
+
+    def test_attributes_and_to_dict(self):
+        tracer = Tracer()
+        span = tracer.start_span("op", rows=128)
+        span.set_attribute("mode", "async")
+        span.end()
+        rendered = span.to_dict()
+        assert rendered["name"] == "op"
+        assert rendered["attributes"] == {"rows": 128, "mode": "async"}
+        assert rendered["duration"] >= 0.0
+        assert rendered["parent_id"] is None
+
+    def test_explicit_parent_overrides_current(self):
+        tracer = Tracer()
+        root = tracer.start_span("root")
+        with tracer.span("unrelated"):
+            child = tracer.start_span("child", parent=root)
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+
+    def test_span_context_is_a_valid_parent(self):
+        tracer = Tracer()
+        root = tracer.start_span("root")
+        context = root.context
+        assert isinstance(context, SpanContext)
+        child = tracer.start_span("child", parent=context)
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+
+
+class TestCrossThread:
+    def test_use_adopts_a_span_on_another_thread(self):
+        """The worker-thread pattern: adopt the serve thread's root with
+        ``use()`` so new spans nest under it, without ending it."""
+        tracer = Tracer()
+        root = tracer.start_span("refresh")
+        children = []
+
+        def worker():
+            with tracer.use(root):
+                with tracer.span("refresh.build") as build:
+                    children.append(build)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert not root.ended                   # use() never ends
+        assert children[0].parent_id == root.span_id
+        assert children[0].trace_id == root.trace_id
+        assert tracer.current() is None         # main thread unaffected
+
+    def test_current_stack_is_thread_local(self):
+        tracer = Tracer()
+        observed = []
+        with tracer.span("main-only"):
+            thread = threading.Thread(
+                target=lambda: observed.append(tracer.current()))
+            thread.start()
+            thread.join()
+        assert observed == [None]
+
+
+class TestSpanRing:
+    def test_ring_evicts_oldest_beyond_capacity(self):
+        tracer = Tracer(ring_size=4)
+        for i in range(10):
+            tracer.start_span(f"s{i}").end()
+        names = [span.name for span in tracer.finished()]
+        assert names == ["s6", "s7", "s8", "s9"]
+        assert len(tracer.ring) == 4
+
+    def test_clear_empties_the_ring(self):
+        ring = SpanRing(maxlen=8)
+        tracer = Tracer()
+        span = tracer.start_span("s")
+        ring.export(span)
+        assert len(ring) == 1
+        ring.clear()
+        assert ring.spans() == []
+
+
+class TestDefaultTracerAndHelpers:
+    def test_trace_helper_uses_the_active_default(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert default_tracer() is tracer
+            with trace("op", rows=3) as span:
+                pass
+        assert span.attributes == {"rows": 3}
+        assert [s.name for s in tracer.finished()] == ["op"]
+
+    def test_use_tracer_restores_on_error(self):
+        original = default_tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(Tracer()):
+                raise RuntimeError("boom")
+        assert default_tracer() is original
+
+    def test_null_tracer_is_inert(self):
+        null = NullTracer()
+        assert not null.enabled
+        span = null.start_span("anything", key="value")
+        with null.span("ctx") as inner:
+            assert inner is span                # shared singleton
+        with null.use(span):
+            pass
+        span.set_attribute("k", 1)
+        span.end()
+        assert span.to_dict() == {}
+        assert null.finished() == []
+        assert null.current() is None

@@ -252,10 +252,17 @@ class TestDedup:
         """Regression: a refresher returning a non-dataclass report must
         not crash the build thread mid-fan-out (which would leave every
         subscriber waiting forever and stall the queue)."""
+        # Held closed until every submit has landed: the instant-return
+        # build must not finish before the follower joins it, or the
+        # dedup below races.
+        gate = threading.Event()
+
         class TokenRefresher:
             n_refreshes = 0
 
             def build(self, ensemble, history, index, **kwargs):
+                if not gate.wait(GATE_TIMEOUT):
+                    raise RuntimeError("test gate never opened")
                 return "replacement", "report-token"
 
         coordinator = RefreshCoordinator(max_concurrent_builds=1)
@@ -269,6 +276,7 @@ class TestDedup:
         behind = queued.submit(
             ConstantEnsemble(1.0, stream_ensemble.cae_config),
             sine_regime(40), trigger_index=14)
+        gate.set()
         for handle in (first, second, behind):
             assert handle.wait(GATE_TIMEOUT)   # nothing wedged
             assert handle.ready

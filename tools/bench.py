@@ -28,9 +28,12 @@ the mode so trajectories are compared like for like.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import datetime
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 
@@ -42,7 +45,21 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
 from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig   # noqa: E402
 from repro.core.cae import CAE                                   # noqa: E402
 from repro.datasets.preprocess import StandardScaler             # noqa: E402
+from repro.obs import (MetricsRegistry, use_registry,            # noqa: E402
+                       write_snapshot)
 from repro.streaming import StreamingDetector                    # noqa: E402
+
+
+def git_commit() -> str:
+    """Short hash of the benched tree, ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
 
 WINDOW = 16
 DIMS = 3
@@ -146,6 +163,10 @@ def main(argv=None) -> int:
     parser.add_argument("--stream-length", type=int, default=512)
     parser.add_argument("--quick", action="store_true",
                         help="fewer rounds / shorter stream (CI smoke)")
+    parser.add_argument("--emit-telemetry", action="store_true",
+                        help="run the benches against a fresh metrics "
+                             "registry and dump its JSON snapshot as "
+                             "BENCH_telemetry.json next to the results")
     parser.add_argument("--out", default=os.path.join(
         os.path.dirname(__file__), os.pardir, "benchmarks", "output"))
     args = parser.parse_args(argv)
@@ -160,6 +181,9 @@ def main(argv=None) -> int:
     ensemble = fabricate_ensemble(args.models, args.embed_dim, args.layers,
                                   series)
     meta = {
+        "commit": git_commit(),
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
         "mode": "quick" if args.quick else "full",
         "n_models": args.models,
         "embed_dim": args.embed_dim,
@@ -177,20 +201,30 @@ def main(argv=None) -> int:
           f"{args.layers} layers, window {WINDOW} "
           f"({meta['mode']} mode)")
 
-    inference = bench_inference(ensemble, series, batch_sizes, rounds)
-    single = inference["single_observation"]
-    print(f"  single-observation: unfused {single['unfused_ms']:8.2f} ms  "
-          f"fused {single['fused_ms']:6.2f} ms  "
-          f"-> {single['speedup']:.1f}x")
-    for batch, numbers in inference["micro_batch"].items():
-        print(f"  micro-batch B={batch:>3}: unfused "
-              f"{numbers['unfused_ms']:8.2f} ms  "
-              f"fused {numbers['fused_ms']:6.2f} ms  "
-              f"-> {numbers['speedup']:.1f}x")
+    # A fresh registry (installed process-wide for the duration of the
+    # benches) keeps the telemetry snapshot scoped to this run; without
+    # the flag the benches run against whatever registry is already the
+    # default (normally the process one — near-zero cost either way).
+    registry = MetricsRegistry() if args.emit_telemetry else None
+    stack = contextlib.ExitStack()
+    if registry is not None:
+        stack.enter_context(use_registry(registry))
 
-    stream = make_series(4096 + stream_length)[-stream_length:]
-    streaming = bench_streaming(ensemble, series, stream,
-                                args.micro_batch, max(2, rounds // 2))
+    with stack:
+        inference = bench_inference(ensemble, series, batch_sizes, rounds)
+        single = inference["single_observation"]
+        print(f"  single-observation: unfused {single['unfused_ms']:8.2f} "
+              f"ms  fused {single['fused_ms']:6.2f} ms  "
+              f"-> {single['speedup']:.1f}x")
+        for batch, numbers in inference["micro_batch"].items():
+            print(f"  micro-batch B={batch:>3}: unfused "
+                  f"{numbers['unfused_ms']:8.2f} ms  "
+                  f"fused {numbers['fused_ms']:6.2f} ms  "
+                  f"-> {numbers['speedup']:.1f}x")
+
+        stream = make_series(4096 + stream_length)[-stream_length:]
+        streaming = bench_streaming(ensemble, series, stream,
+                                    args.micro_batch, max(2, rounds // 2))
     print(f"  streaming update_batch({args.micro_batch}): "
           f"unfused {streaming['unfused']['observations_per_second']:7.0f}"
           f" obs/s  fused "
@@ -204,6 +238,10 @@ def main(argv=None) -> int:
         with open(path, "w") as handle:
             json.dump({"meta": meta, "results": payload}, handle, indent=2)
             handle.write("\n")
+        print(f"  wrote {os.path.relpath(path)}")
+    if registry is not None:
+        path = os.path.join(args.out, "BENCH_telemetry.json")
+        write_snapshot(registry, path, extra_meta=meta)
         print(f"  wrote {os.path.relpath(path)}")
     return 0
 
