@@ -116,6 +116,12 @@ class EnsembleConfig:
     # become *more* diverse than independently trained ones (Table 6)
     # while the diversity must not degrade reconstruction (Table 5).
     diversity_saturation: float = 0.5
+    # Train via the fused batched stage trainer (repro.core.fused_training):
+    # same Algorithm 1 objective and RNG stream, one batched GEMM per layer
+    # per step in `fused_training_dtype` precision.  Off by default — the
+    # per-module float64 loop stays the reference semantics.
+    fused_training: bool = False
+    fused_training_dtype: str = "float32"
 
     def __post_init__(self):
         if self.n_models < 1:
@@ -137,6 +143,9 @@ class EnsembleConfig:
         if self.aggregation not in ("median", "mean"):
             raise ValueError(f"aggregation must be 'median' or 'mean', "
                              f"got {self.aggregation!r}")
+        if self.fused_training_dtype not in ("float32", "float64"):
+            raise ValueError(f"fused_training_dtype must be 'float32' or "
+                             f"'float64', got {self.fused_training_dtype!r}")
 
 
 def paper_config(input_dim: int, window: int = 16) -> "tuple[CAEConfig, EnsembleConfig]":

@@ -27,6 +27,7 @@ from .config import CAEConfig, EnsembleConfig
 from .diversity import (diversity_driven_loss, diversity_term,
                         ensemble_diversity, reconstruction_loss)
 from .fused import FusedEnsembleScorer
+from .fused_training import FusedEnsembleTrainer
 from .transfer import TransferReport, transfer_parameters
 
 
@@ -45,8 +46,12 @@ class TrainingCancelled(RuntimeError):
 
     Cooperative: the flag is polled between basic-model fits (the unit of
     progress worth preserving), so a cancelled fit stops before training
-    its next model rather than mid-epoch.  The ensemble is left unfitted —
-    callers that cancel a build must keep serving their previous models.
+    its next model rather than mid-epoch.  The ensemble is restored to its
+    exact pre-``fit`` state — models, scaler, history, transfer reports
+    and ``train_seconds_`` all roll back, so a cancelled refit leaves a
+    previously fitted instance serving its old generation, and a fresh
+    instance unfitted.  Callers that cancel a build must keep serving
+    their previous models.
     """
 
     def __init__(self, models_trained: int):
@@ -88,7 +93,8 @@ class CAEEnsemble:
     def fit(self, series: np.ndarray, verbose: bool = False,
             warm_start: Optional[Sequence[CAE]] = None,
             warm_start_fraction: Optional[float] = None,
-            cancel=None) -> "CAEEnsemble":
+            cancel=None, fused_training: Optional[bool] = None,
+            reuse_rng: bool = False) -> "CAEEnsemble":
         """Train all basic models on an unlabelled series ``(L, D)``.
 
         ``warm_start`` optionally provides an already-trained generation of
@@ -102,48 +108,90 @@ class CAEEnsemble:
         ``cancel`` is an optional cooperative-cancellation flag (anything
         with ``is_set() -> bool``, e.g. a ``threading.Event``), polled
         before each basic-model fit.  A set flag raises
-        :class:`TrainingCancelled` and leaves the ensemble unfitted —
-        the release valve for superseded or abandoned background refresh
-        builds (:mod:`repro.streaming.coordinator`), which would otherwise
-        train all remaining models for a result nobody will serve.
+        :class:`TrainingCancelled` and rolls the ensemble back to its
+        pre-fit state — the release valve for superseded or abandoned
+        background refresh builds (:mod:`repro.streaming.coordinator`),
+        which would otherwise train all remaining models for a result
+        nobody will serve.
+
+        ``fused_training`` overrides ``config.fused_training``: the
+        batched stage-sequential trainer of
+        :mod:`repro.core.fused_training` (one batched GEMM per layer per
+        step, ``fused_training_dtype`` compute precision) versus the
+        per-module float64 reference loop.  Both paths train the same
+        Algorithm 1 objective over the same batches and draw from the
+        ensemble RNG identically; loss trajectories agree within the
+        tolerance documented in ``docs/performance.md``.
+
+        The ensemble RNG is re-seeded from ``config.seed`` at the top of
+        every fit, so repeated ``fit()`` calls on one instance are
+        reproducible ("all randomness flows from ``ensemble_config.seed``").
+        Pass ``reuse_rng=True`` to intentionally continue the generator's
+        current stream instead (distinct-but-deterministic refits).
         """
+        if not reuse_rng:
+            self._rng = np.random.default_rng(self.config.seed)
+        use_fused = self.config.fused_training if fused_training is None \
+            else bool(fused_training)
+        trainer = FusedEnsembleTrainer(self.cae_config, self.config) \
+            if use_fused else None
+        snapshot = (self.models, self.scaler, self.history,
+                    self.transfer_reports, self.train_seconds_,
+                    self._fused_scorer)
         start_time = time.perf_counter()
-        windows = self._prepare_training_windows(series)
-        self.models = []
-        self._fused_scorer = None
-        self.history = []
-        self.transfer_reports = []
-        warm_models = list(warm_start) if warm_start is not None else []
-        warm_fraction = self.config.transfer_fraction \
-            if warm_start_fraction is None else warm_start_fraction
+        try:
+            windows = self._prepare_training_windows(series)
+            self.models = []
+            self._fused_scorer = None
+            self.history = []
+            self.transfer_reports = []
+            warm_models = list(warm_start) if warm_start is not None else []
+            warm_fraction = self.config.transfer_fraction \
+                if warm_start_fraction is None else warm_start_fraction
 
-        # Running sum of frozen model outputs; F = sum / m (Eq. 8).
-        ensemble_sum: Optional[np.ndarray] = None
+            # Running sum of frozen model outputs; F = sum / m (Eq. 8).
+            ensemble_sum: Optional[np.ndarray] = None
 
-        for model_index in range(self.config.n_models):
-            if cancel is not None and cancel.is_set():
-                self.models = []
-                raise TrainingCancelled(model_index)
-            model = CAE(self.cae_config,
-                        np.random.default_rng(self._rng.integers(2 ** 32)))
-            if model_index < len(warm_models) and warm_fraction > 0.0:
-                report = transfer_parameters(warm_models[model_index], model,
-                                             warm_fraction, self._rng)
-                self.transfer_reports.append(report)
-            elif model_index > 0 and self.config.transfer_fraction > 0.0:
-                report = transfer_parameters(self.models[-1], model,
-                                             self.config.transfer_fraction,
-                                             self._rng)
-                self.transfer_reports.append(report)
-            frozen_mean = (ensemble_sum / model_index
-                           if model_index > 0 and ensemble_sum is not None
-                           else None)
-            self._train_basic_model(model, model_index, windows, frozen_mean,
-                                    verbose=verbose)
-            self.models.append(model)
-            output = self._model_output(model, windows)
-            ensemble_sum = output if ensemble_sum is None \
-                else ensemble_sum + output
+            for model_index in range(self.config.n_models):
+                if cancel is not None and cancel.is_set():
+                    raise TrainingCancelled(model_index)
+                model = CAE(self.cae_config,
+                            np.random.default_rng(self._rng.integers(2 ** 32)))
+                if model_index < len(warm_models) and warm_fraction > 0.0:
+                    report = transfer_parameters(warm_models[model_index],
+                                                 model, warm_fraction,
+                                                 self._rng)
+                    self.transfer_reports.append(report)
+                elif model_index > 0 and self.config.transfer_fraction > 0.0:
+                    report = transfer_parameters(
+                        self.models[-1], model,
+                        self.config.transfer_fraction, self._rng)
+                    self.transfer_reports.append(report)
+                frozen_mean = (ensemble_sum / model_index
+                               if model_index > 0 and ensemble_sum is not None
+                               else None)
+                if trainer is not None:
+                    stage_records, output = trainer.train_model(
+                        model, model_index, windows, frozen_mean,
+                        self._rng, verbose=verbose)
+                    for epoch, loss, j_value, k_value in stage_records:
+                        self.history.append(EpochRecord(
+                            model_index=model_index, epoch=epoch, loss=loss,
+                            reconstruction=j_value, diversity=k_value))
+                else:
+                    self._train_basic_model(model, model_index, windows,
+                                            frozen_mean, verbose=verbose)
+                    output = self._model_output(model, windows)
+                self.models.append(model)
+                ensemble_sum = output if ensemble_sum is None \
+                    else ensemble_sum + output
+        except TrainingCancelled:
+            # Restore the exact pre-fit state: a cancelled refit keeps
+            # serving its previous generation, a fresh build stays
+            # unfitted.
+            (self.models, self.scaler, self.history, self.transfer_reports,
+             self.train_seconds_, self._fused_scorer) = snapshot
+            raise
 
         self.train_seconds_ = time.perf_counter() - start_time
         return self

@@ -541,14 +541,82 @@ class FusedEnsembleScorer:
         than one huge pass at M=40, B=64) and caps workspace memory for
         full-series scoring, where N can be the series length.
         """
-        chunk = max(1, self.CHUNK_TARGET_ROWS // m)
+        chunk = max(1, self._target_rows() // m)
         return min(n, chunk)
 
     # The fused working set scales with M x chunk; ~256 model-window rows
     # keeps the largest buffers around a few MB (L2/L3-resident) for
-    # paper-sized architectures (the measured optimum on a 1-core AVX2
-    # box; +/-2x around it costs ~10%).
+    # paper-sized architectures; +/-2x around it costs ~10%.  256 is the
+    # fallback when auto-tuning is unavailable; assigning a different
+    # value (class or instance) pins the chunk size and disables tuning.
     CHUNK_TARGET_ROWS = 256
+
+    # Auto-tune state, shared process-wide: the cache hierarchy the chunk
+    # size adapts to is a property of the machine, not of one scorer.
+    _DEFAULT_CHUNK_ROWS = 256
+    _CHUNK_CANDIDATES = (128, 256, 512)
+    _tuned_chunk_rows: Optional[int] = None
+    _chunk_tune_lock = threading.Lock()
+
+    def _target_rows(self) -> int:
+        """The effective chunk target: an explicitly pinned
+        ``CHUNK_TARGET_ROWS`` wins, then the machine's auto-tuned value,
+        then the 256 default."""
+        if self.CHUNK_TARGET_ROWS != self._DEFAULT_CHUNK_ROWS:
+            return self.CHUNK_TARGET_ROWS
+        tuned = FusedEnsembleScorer._tuned_chunk_rows
+        return tuned if tuned is not None else self.CHUNK_TARGET_ROWS
+
+    @classmethod
+    def reset_chunk_autotune(cls) -> None:
+        """Forget the auto-tuned chunk size (next eligible score re-tunes)."""
+        with cls._chunk_tune_lock:
+            cls._tuned_chunk_rows = None
+
+    def _maybe_autotune_chunk(self, windows_cf: np.ndarray, m: int) -> None:
+        """First-call chunk-size auto-tune.
+
+        Times one reconstruction chunk at each candidate row count on the
+        actual workload and caches the process-wide winner.  Runs at most
+        once per process, only when the workload is large enough for the
+        candidates to differ (and for the measurement to be a negligible
+        fraction of the call), and never when ``CHUNK_TARGET_ROWS`` has
+        been pinned.  Any failure falls back to the 256 default.
+        """
+        if self.CHUNK_TARGET_ROWS != self._DEFAULT_CHUNK_ROWS:
+            return
+        if FusedEnsembleScorer._tuned_chunk_rows is not None:
+            return
+        n = windows_cf.shape[1]
+        if m * n < 2 * max(self._CHUNK_CANDIDATES):
+            return
+        with FusedEnsembleScorer._chunk_tune_lock:
+            if FusedEnsembleScorer._tuned_chunk_rows is not None:
+                return
+            try:
+                timings = {
+                    rows: self._time_chunk_candidate(windows_cf, m, rows)
+                    for rows in self._CHUNK_CANDIDATES
+                }
+                best = min(timings, key=timings.get)
+            except Exception:
+                best = self._DEFAULT_CHUNK_ROWS
+            FusedEnsembleScorer._tuned_chunk_rows = best
+
+    def _time_chunk_candidate(self, windows_cf: np.ndarray, m: int,
+                              rows: int) -> float:
+        """Seconds per window for one candidate chunk size, measured on a
+        throwaway workspace (the real one keeps its steady-state shapes)."""
+        chunk = min(windows_cf.shape[1], max(1, rows // m))
+        part = windows_cf[:, :chunk]
+        workspace = _Workspace()
+        self._reconstruct(part, m, workspace)        # warm-up: allocations
+        best = float("inf")
+        for _ in range(2):
+            tick = time.perf_counter()
+            self._reconstruct(part, m, workspace)
+            best = min(best, time.perf_counter() - tick)
+        return best / chunk
 
     def window_scores(self, windows: np.ndarray,
                       n_models: Optional[int] = None) -> np.ndarray:
@@ -562,6 +630,7 @@ class FusedEnsembleScorer:
         m = self._resolve_models(n_models)
         n = windows_cf.shape[1]
         out = np.empty((n, self.config.window), dtype=np.float64)
+        self._maybe_autotune_chunk(windows_cf, m)
         chunk = self._chunk_size(m, n)
         workspace = self._workspace
         obs = self._obs
@@ -597,6 +666,7 @@ class FusedEnsembleScorer:
         m = self._resolve_models(n_models)
         n = windows_cf.shape[1]
         out = np.empty(n, dtype=np.float64)
+        self._maybe_autotune_chunk(windows_cf, m)
         chunk = self._chunk_size(m, n)
         workspace = self._workspace
         obs = self._obs

@@ -6,6 +6,9 @@ optimisers, serialisation) so the reproduction is fully self-contained.
 """
 
 from . import functional, init
+from .batched import (batched_attention, batched_conv1d, batched_glu,
+                      batched_linear_cf, batched_relu_residual,
+                      batched_shift_right, fused_training_loss)
 from .conv import conv1d, resolve_padding
 from .gradcheck import gradcheck, numerical_gradient
 from .lr_scheduler import (CosineAnnealingLR, ExponentialLR, LRScheduler,
@@ -25,9 +28,12 @@ __all__ = [
     "ExponentialLR", "GRUCell", "LRScheduler", "LSTM", "LSTMCell", "Linear",
     "Module", "Optimizer", "Parameter", "RMSProp", "ReLU", "SGD",
     "Sequential", "Sigmoid", "StepLR", "Tanh", "Tensor", "as_tensor",
-    "concatenate", "conv1d", "default_dtype", "functional", "gradcheck",
-    "inference_dtype", "inference_precision", "init", "is_grad_enabled",
-    "load_into", "load_state_dict", "no_grad", "numerical_gradient", "ones",
-    "randn", "resolve_padding", "save_state_dict", "set_default_dtype",
+    "batched_attention", "batched_conv1d", "batched_glu",
+    "batched_linear_cf", "batched_relu_residual", "batched_shift_right",
+    "concatenate", "conv1d", "default_dtype", "functional",
+    "fused_training_loss", "gradcheck", "inference_dtype",
+    "inference_precision", "init", "is_grad_enabled", "load_into",
+    "load_state_dict", "no_grad", "numerical_gradient", "ones", "randn",
+    "resolve_padding", "save_state_dict", "set_default_dtype",
     "set_inference_dtype", "stack", "tensor", "where", "zeros",
 ]

@@ -44,48 +44,52 @@ def resolve_padding(kernel_size: int, padding: PaddingSpec) -> Tuple[int, int]:
 
 
 def _im2col(x: np.ndarray, kernel_size: int) -> np.ndarray:
-    """Unfold ``(N, C, L_pad)`` into ``(N, C * K, L_out)`` columns.
+    """Unfold ``(..., C, L_pad)`` into ``(..., C * K, L_out)`` columns.
 
     Uses stride tricks, so no data is copied until the matmul reads it.
+    Any number of leading batch axes is supported — ``(N, C, L_pad)`` for
+    the per-model training path, ``(M, N, C, L_pad)`` for the batched
+    ensemble-training path (:mod:`repro.nn.batched`).
     """
-    n, c, l_pad = x.shape
+    *lead, c, l_pad = x.shape
     l_out = l_pad - kernel_size + 1
-    stride_n, stride_c, stride_l = x.strides
+    stride_l = x.strides[-1]
     view = np.lib.stride_tricks.as_strided(
         x,
-        shape=(n, c, kernel_size, l_out),
-        strides=(stride_n, stride_c, stride_l, stride_l),
+        shape=(*lead, c, kernel_size, l_out),
+        strides=(*x.strides, stride_l),
         writeable=False,
     )
-    return view.reshape(n, c * kernel_size, l_out)
+    return view.reshape(*lead, c * kernel_size, l_out)
 
 
 def _col2im(cols: np.ndarray, c: int, kernel_size: int, l_pad: int) -> np.ndarray:
-    """Inverse of :func:`_im2col`: scatter-add columns back to ``(N, C, L_pad)``.
+    """Inverse of :func:`_im2col`: scatter-add columns back to ``(..., C, L_pad)``.
 
     The overlapping scatter is vectorised with a diagonal strided view:
-    a ``(N, C, K, L_pad)`` staging buffer is viewed with strides so that
-    entry ``(n, c, k, j)`` lands on ``buffer[n, c, k, k + j]`` — each
+    a ``(..., C, K, L_pad)`` staging buffer is viewed with strides so that
+    entry ``(..., c, k, j)`` lands on ``buffer[..., c, k, k + j]`` — each
     kernel offset's contribution shifted into place by one strided copy —
     and a single reduction over the ``K`` axis performs all the
     overlapping adds at once, replacing the per-offset Python loop.  The
     view is write-disjoint (every ``(k, j)`` maps to a distinct element),
     so the assignment is well defined; summation runs over ascending
-    ``k``, bit-identical to the loop it replaces.
+    ``k``, bit-identical to the loop it replaces.  Leading batch axes
+    mirror :func:`_im2col`.
     """
-    n, _, l_out = cols.shape
-    cols = cols.reshape(n, c, kernel_size, l_out)
+    *lead, _, l_out = cols.shape
+    cols = cols.reshape(*lead, c, kernel_size, l_out)
     if kernel_size == 1:
-        out = np.zeros((n, c, l_pad), dtype=cols.dtype)
-        out[:, :, :l_out] = cols[:, :, 0, :]
+        out = np.zeros((*lead, c, l_pad), dtype=cols.dtype)
+        out[..., :l_out] = cols[..., 0, :]
         return out
-    staged = np.zeros((n, c, kernel_size, l_pad), dtype=cols.dtype)
-    s_n, s_c, s_k, s_l = staged.strides
+    staged = np.zeros((*lead, c, kernel_size, l_pad), dtype=cols.dtype)
+    s_k, s_l = staged.strides[-2], staged.strides[-1]
     shifted = np.lib.stride_tricks.as_strided(
-        staged, shape=(n, c, kernel_size, l_out),
-        strides=(s_n, s_c, s_k + s_l, s_l))
+        staged, shape=(*lead, c, kernel_size, l_out),
+        strides=(*staged.strides[:-2], s_k + s_l, s_l))
     shifted[...] = cols
-    return staged.sum(axis=2)
+    return staged.sum(axis=-2)
 
 
 def conv1d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,

@@ -107,13 +107,20 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Scratch pair per parameter: step() runs every training batch, so
+        # the moment/update temporaries are reused instead of reallocated.
+        # Every in-place expression below keeps the original evaluation
+        # order — the update values are bit-identical to the naive form.
+        self._scratch = [(np.empty_like(p.data), np.empty_like(p.data))
+                         for p in self.params]
 
     def step(self) -> None:
         self._step += 1
         t = self._step
         bias1 = 1.0 - self.beta1 ** t
         bias2 = 1.0 - self.beta2 ** t
-        for param, m, v in zip(self.params, self._m, self._v):
+        for param, m, v, (buf, denom) in zip(self.params, self._m, self._v,
+                                             self._scratch):
             if param.grad is None:
                 continue
             grad = param.grad
@@ -124,9 +131,16 @@ class Adam(Optimizer):
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=buf)
+            m += buf
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, 1.0 - self.beta2, out=buf)
+            buf *= grad
+            v += buf
+            np.divide(v, bias2, out=denom)
+            np.sqrt(denom, out=denom)
+            denom += self.eps
+            np.divide(m, bias1, out=buf)
+            buf *= self.lr
+            buf /= denom
+            param.data -= buf

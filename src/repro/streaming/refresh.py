@@ -99,6 +99,12 @@ class EnsembleRefresher:
                          ensemble config's transfer β).
     epochs_per_model:    training budget per basic model for refreshes
                          (default: same as the original fit).
+    fused_training:      force the fused batched trainer on (True) or off
+                         (False) for refresh builds; the default None
+                         inherits the serving ensemble's
+                         ``config.fused_training``.  Background rebuilds
+                         are the latency-sensitive training path — see
+                         ``docs/performance.md``.
     corpus:              sampling scheme of the retraining corpus the
                          engine maintains for this refresher — ``"ring"``
                          (most recent history), ``"reservoir"`` (uniform
@@ -137,6 +143,7 @@ class EnsembleRefresher:
     def __init__(self, min_history: Optional[int] = None, cooldown: int = 0,
                  warm_start_fraction: Optional[float] = None,
                  epochs_per_model: Optional[int] = None,
+                 fused_training: Optional[bool] = None,
                  corpus: Optional[str] = None,
                  corpus_block: Optional[int] = None,
                  corpus_seed: int = 0, corpus_decay: float = 0.9):
@@ -157,10 +164,14 @@ class EnsembleRefresher:
         if corpus_block is not None and corpus_block < 1:
             raise ValueError(f"corpus_block must be >= 1, "
                              f"got {corpus_block}")
+        if fused_training is not None and not isinstance(fused_training, bool):
+            raise ValueError(f"fused_training must be a bool or None, "
+                             f"got {fused_training!r}")
         self.min_history = min_history
         self.cooldown = cooldown
         self.warm_start_fraction = warm_start_fraction
         self.epochs_per_model = epochs_per_model
+        self.fused_training = fused_training
         self.corpus = corpus
         self.corpus_block = corpus_block
         self.corpus_seed = corpus_seed
@@ -242,6 +253,8 @@ class EnsembleRefresher:
         overrides = {"seed": ensemble.config.seed + generation + 1}
         if self.epochs_per_model is not None:
             overrides["epochs_per_model"] = self.epochs_per_model
+        if self.fused_training is not None:
+            overrides["fused_training"] = self.fused_training
         config = dataclasses.replace(ensemble.config, **overrides)
         replacement = CAEEnsemble(ensemble.cae_config, config)
         replacement.fit(history, warm_start=ensemble.models,

@@ -177,3 +177,91 @@ class TestDiversityBehaviour:
         ensemble = quick_ensemble().fit(small_series)
         error = ensemble.validation_reconstruction_error(small_series[:100])
         assert error > 0.0
+
+
+class CancelAfterPolls:
+    """Cooperative-cancellation flag that trips after N ``is_set`` polls
+    (fit polls once before each basic-model fit)."""
+
+    def __init__(self, polls):
+        self.polls = polls
+
+    def is_set(self):
+        self.polls -= 1
+        return self.polls < 0
+
+
+class TestRefitDeterminism:
+    """The fit-time RNG reset: repeated fits of one instance reproduce
+    ("all randomness flows from the seed"), unless reuse_rng opts out."""
+
+    def test_refit_same_instance_reproduces(self, small_series):
+        ensemble = quick_ensemble().fit(small_series)
+        first_scores = ensemble.score(small_series)
+        first_losses = [record.loss for record in ensemble.history]
+        ensemble.fit(small_series)
+        assert [record.loss for record in ensemble.history] == first_losses
+        np.testing.assert_array_equal(ensemble.score(small_series),
+                                      first_scores)
+
+    def test_refit_matches_fresh_instance(self, small_series):
+        refitted = quick_ensemble().fit(small_series).fit(small_series)
+        fresh = quick_ensemble().fit(small_series)
+        np.testing.assert_array_equal(refitted.score(small_series),
+                                      fresh.score(small_series))
+
+    def test_reuse_rng_continues_the_stream(self, small_series):
+        a = quick_ensemble().fit(small_series)
+        b = quick_ensemble().fit(small_series)
+        a.fit(small_series, reuse_rng=True)
+        # The continued stream differs from the seed-reset first fit...
+        assert not np.array_equal(a.score(small_series),
+                                  b.score(small_series))
+        # ...but is still deterministic across instances.
+        b.fit(small_series, reuse_rng=True)
+        np.testing.assert_array_equal(a.score(small_series),
+                                      b.score(small_series))
+
+
+class TestCancellationRollback:
+    """A cancelled fit must leave the ensemble in its exact pre-fit state."""
+
+    def test_fresh_instance_stays_unfitted(self, small_series):
+        from repro.core.ensemble import TrainingCancelled
+        ensemble = quick_ensemble()
+        with pytest.raises(TrainingCancelled):
+            ensemble.fit(small_series, cancel=CancelAfterPolls(1))
+        assert ensemble.models == []
+        assert ensemble.history == []
+        assert ensemble.transfer_reports == []
+        assert ensemble.train_seconds_ == 0.0
+        assert ensemble.scaler is None
+        with pytest.raises(RuntimeError, match="fit"):
+            ensemble.score(small_series)
+
+    def test_fitted_instance_keeps_serving_old_generation(self, small_series):
+        from repro.core.ensemble import TrainingCancelled
+        ensemble = quick_ensemble().fit(small_series)
+        old_models = ensemble.models
+        old_history = list(ensemble.history)
+        old_seconds = ensemble.train_seconds_
+        old_scores = ensemble.score(small_series)
+        shifted = small_series + 0.5
+        with pytest.raises(TrainingCancelled) as excinfo:
+            ensemble.fit(shifted, cancel=CancelAfterPolls(1))
+        assert excinfo.value.models_trained == 1
+        assert ensemble.models is old_models
+        assert [record.loss for record in ensemble.history] == \
+            [record.loss for record in old_history]
+        assert ensemble.train_seconds_ == old_seconds
+        np.testing.assert_array_equal(ensemble.score(small_series),
+                                      old_scores)
+
+    def test_rollback_under_fused_training(self, small_series):
+        from repro.core.ensemble import TrainingCancelled
+        ensemble = quick_ensemble(fused_training=True).fit(small_series)
+        old_scores = ensemble.score(small_series)
+        with pytest.raises(TrainingCancelled):
+            ensemble.fit(small_series + 0.5, cancel=CancelAfterPolls(1))
+        np.testing.assert_array_equal(ensemble.score(small_series),
+                                      old_scores)

@@ -289,3 +289,91 @@ class TestAfterRefreshAndPersistence:
                                          index=100)
         assert replacement._fused_scorer is not None
         assert_fused_equivalent(replacement, make_series(2, seed=9))
+
+
+class TestChunkAutotune:
+    """First-call chunk-size auto-tune (process-wide, pinning disables)."""
+
+    @pytest.fixture(autouse=True)
+    def clean_autotune_state(self):
+        FusedEnsembleScorer.reset_chunk_autotune()
+        yield
+        FusedEnsembleScorer.reset_chunk_autotune()
+
+    def big_ensemble(self):
+        # m * n comfortably above the 2 * max(candidates) eligibility bar.
+        ensemble = fabricated_ensemble(2, 5)
+        series = make_series(2, length=320, seed=9)
+        return ensemble, series
+
+    def test_first_eligible_call_tunes_and_caches(self):
+        ensemble, series = self.big_ensemble()
+        assert FusedEnsembleScorer._tuned_chunk_rows is None
+        ensemble.score(series)
+        tuned = FusedEnsembleScorer._tuned_chunk_rows
+        assert tuned in FusedEnsembleScorer._CHUNK_CANDIDATES
+        scorer = ensemble.fused_scorer()
+        assert scorer._target_rows() == tuned
+
+    def test_tuning_runs_at_most_once(self, monkeypatch):
+        ensemble, series = self.big_ensemble()
+        calls = []
+        original = FusedEnsembleScorer._time_chunk_candidate
+
+        def counting(self, windows_cf, m, rows):
+            calls.append(rows)
+            return original(self, windows_cf, m, rows)
+
+        monkeypatch.setattr(FusedEnsembleScorer, "_time_chunk_candidate",
+                            counting)
+        ensemble.score(series)
+        n_first = len(calls)
+        assert n_first == len(FusedEnsembleScorer._CHUNK_CANDIDATES)
+        ensemble.score(series)
+        fresh = fabricated_ensemble(2, 5, seed=1)
+        fresh.score(series)                      # other scorers reuse it too
+        assert len(calls) == n_first
+
+    def test_pinned_target_rows_disables_tuning(self, monkeypatch):
+        ensemble, series = self.big_ensemble()
+        monkeypatch.setattr(FusedEnsembleScorer, "CHUNK_TARGET_ROWS", 64)
+        ensemble.score(series)
+        assert FusedEnsembleScorer._tuned_chunk_rows is None
+        assert ensemble.fused_scorer()._target_rows() == 64
+
+    def test_small_workload_skips_tuning(self):
+        ensemble = trained_ensemble(2, 2)
+        ensemble.score(make_series(2, length=64, seed=9))
+        assert FusedEnsembleScorer._tuned_chunk_rows is None
+
+    def test_timing_failure_falls_back_to_default(self, monkeypatch):
+        ensemble, series = self.big_ensemble()
+
+        def broken(self, windows_cf, m, rows):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(FusedEnsembleScorer, "_time_chunk_candidate",
+                            broken)
+        scores = ensemble.score(series)          # must not raise
+        assert scores.shape == (series.shape[0],)
+        assert FusedEnsembleScorer._tuned_chunk_rows == \
+            FusedEnsembleScorer._DEFAULT_CHUNK_ROWS
+
+    def test_reset_allows_retuning(self):
+        ensemble, series = self.big_ensemble()
+        ensemble.score(series)
+        assert FusedEnsembleScorer._tuned_chunk_rows is not None
+        FusedEnsembleScorer.reset_chunk_autotune()
+        assert FusedEnsembleScorer._tuned_chunk_rows is None
+        ensemble.score(series)
+        assert FusedEnsembleScorer._tuned_chunk_rows in \
+            FusedEnsembleScorer._CHUNK_CANDIDATES
+
+    def test_scores_identical_across_tuned_chunk_sizes(self):
+        ensemble, series = self.big_ensemble()
+        baseline = ensemble.score(series)
+        for rows in FusedEnsembleScorer._CHUNK_CANDIDATES:
+            FusedEnsembleScorer.reset_chunk_autotune()
+            FusedEnsembleScorer._tuned_chunk_rows = rows
+            ensemble.invalidate_fused()
+            np.testing.assert_array_equal(ensemble.score(series), baseline)

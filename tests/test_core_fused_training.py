@@ -1,0 +1,145 @@
+"""Fused batched training vs the per-module reference loop.
+
+The equivalence contract of ``docs/performance.md``: both paths consume
+the ensemble RNG identically and train the same Algorithm 1 objective
+over the same batches, so with ``fused_training_dtype='float64'`` the
+loss trajectories and scores match to rounding error; the default
+float32 path agrees within a documented looser tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig
+from repro.core.fused_training import FusedEnsembleTrainer
+
+
+def make_series(dims, length=220, seed=3):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)[:, None]
+    periods = 17.0 + 6.0 * np.arange(dims)
+    series = np.sin(2 * np.pi * t / periods)
+    return series + 0.05 * rng.standard_normal(series.shape)
+
+
+def make_pair(dims, n_models, dtype, **cae_overrides):
+    cae_kwargs = dict(input_dim=dims, embed_dim=8, window=8, n_layers=1)
+    cae_kwargs.update(cae_overrides)
+    cae = CAEConfig(**cae_kwargs)
+
+    def build(fused):
+        return CAEEnsemble(cae, EnsembleConfig(
+            n_models=n_models, epochs_per_model=2, batch_size=32,
+            max_training_windows=96, seed=11, fused_training=fused,
+            fused_training_dtype=dtype))
+
+    return build(False), build(True)
+
+
+def history_rows(ensemble):
+    return np.array([[r.loss, r.reconstruction, r.diversity]
+                     for r in ensemble.history])
+
+
+def assert_equivalent(reference, fused, series, rtol):
+    ref_rows, fused_rows = history_rows(reference), history_rows(fused)
+    assert ref_rows.shape == fused_rows.shape
+    np.testing.assert_allclose(fused_rows, ref_rows, rtol=rtol, atol=rtol)
+    np.testing.assert_allclose(fused.score(series), reference.score(series),
+                               rtol=rtol, atol=rtol)
+
+
+class TestFloat64Equivalence:
+    """float64 compute dtype: same arithmetic as the reference loop."""
+
+    @pytest.mark.parametrize("n_models", [1, 5])
+    @pytest.mark.parametrize("dims", [1, 3])
+    def test_matrix(self, n_models, dims):
+        series = make_series(dims)
+        reference, fused = make_pair(dims, n_models, "float64")
+        reference.fit(series)
+        fused.fit(series)
+        assert_equivalent(reference, fused, series, rtol=1e-9)
+
+    @pytest.mark.parametrize("warm_fraction", [0.0, 0.4])
+    def test_warm_start(self, warm_fraction):
+        series = make_series(2)
+        donor, _ = make_pair(2, 2, "float64")
+        donor.fit(series)
+        reference, fused = make_pair(2, 3, "float64")
+        reference.fit(series, warm_start=donor.models,
+                      warm_start_fraction=warm_fraction)
+        fused.fit(series, warm_start=donor.models,
+                  warm_start_fraction=warm_fraction)
+        assert_equivalent(reference, fused, series, rtol=1e-9)
+
+    @pytest.mark.parametrize("cae_overrides", [
+        {"use_glu": False},
+        {"use_attention": False},
+        {"position_mode": "table"},
+        {"reconstruct": "embedding"},
+    ], ids=["no-glu", "no-attention", "table-positions",
+            "embedding-reconstruct"])
+    def test_architecture_variants(self, cae_overrides):
+        series = make_series(2)
+        reference, fused = make_pair(2, 2, "float64", **cae_overrides)
+        reference.fit(series)
+        fused.fit(series)
+        assert_equivalent(reference, fused, series, rtol=1e-9)
+
+
+class TestFloat32Default:
+    def test_default_dtype_is_float32(self):
+        assert EnsembleConfig().fused_training_dtype == "float32"
+
+    def test_loss_trajectory_within_documented_tolerance(self):
+        series = make_series(2)
+        reference, fused = make_pair(2, 3, "float32")
+        reference.fit(series)
+        fused.fit(series)
+        # The tolerance documented in docs/performance.md for short runs.
+        assert_equivalent(reference, fused, series, rtol=5e-3)
+
+    def test_trained_weights_written_back_as_float64(self):
+        series = make_series(2)
+        _, fused = make_pair(2, 1, "float32")
+        fused.fit(series)
+        for _, param in fused.models[0].named_parameters():
+            assert param.data.dtype == np.float64
+
+
+class TestDispatch:
+    def test_config_flag_and_override(self):
+        series = make_series(2)
+        reference, fused = make_pair(2, 2, "float64")
+        reference.fit(series, fused_training=True)     # override on
+        fused.fit(series, fused_training=False)        # override off
+        # Overrides swap the paths; float64 keeps them equivalent.
+        assert_equivalent(reference, fused, series, rtol=1e-9)
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError, match="fused_training_dtype"):
+            EnsembleConfig(fused_training_dtype="float16")
+
+    def test_trainer_rejects_non_float_dtype(self):
+        cae = CAEConfig(input_dim=2, embed_dim=8, window=8, n_layers=1)
+        with pytest.raises(ValueError, match="floating"):
+            FusedEnsembleTrainer(cae, EnsembleConfig(), dtype="int32")
+
+    def test_refresher_forwards_fused_training(self):
+        from repro.streaming.refresh import EnsembleRefresher
+        series = make_series(2)
+        _, fused = make_pair(2, 2, "float64")
+        fused.fit(series)
+        refresher = EnsembleRefresher(fused_training=False)
+        replacement, _ = refresher.build(fused, series, index=len(series))
+        assert replacement.config.fused_training is False
+        # None (the default) inherits the serving ensemble's setting.
+        inheriting = EnsembleRefresher()
+        replacement, _ = inheriting.build(fused, series, index=len(series))
+        assert replacement.config.fused_training is True
+
+    def test_refresher_rejects_non_bool(self):
+        from repro.streaming.refresh import EnsembleRefresher
+        with pytest.raises(ValueError, match="fused_training"):
+            EnsembleRefresher(fused_training=1)

@@ -1,0 +1,271 @@
+"""Batched (model-stacked) training ops: gradchecks and per-model parity.
+
+Every op in :mod:`repro.nn.batched` must (a) pass numerical gradient
+verification and (b) compute, per model slice, exactly what the
+per-module path computes — the contract that lets the fused trainer
+stand in for the reference loop (``docs/performance.md``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import GlobalAttention
+from repro.core.diversity import diversity_driven_loss
+from repro.core.layers import GLUConv
+from repro.nn import Tensor
+from repro.nn.batched import (batched_attention, batched_conv1d, batched_glu,
+                              batched_linear_cf, batched_relu_residual,
+                              batched_shift_right, fused_training_loss)
+from repro.nn.conv import conv1d
+from repro.nn.functional import linear
+from repro.nn.gradcheck import gradcheck
+
+M, C_IN, C_OUT, N, L, K = 2, 2, 3, 2, 5, 3
+
+
+def t(rng, *shape):
+    return Tensor(rng.standard_normal(shape), requires_grad=True)
+
+
+class TestGradcheck:
+    @pytest.mark.parametrize("padding", ["same", "causal", "valid"])
+    def test_conv1d(self, padding):
+        rng = np.random.default_rng(0)
+        inputs = [t(rng, M, C_IN, N, L), t(rng, M, C_OUT, C_IN, K),
+                  t(rng, M, C_OUT)]
+        assert gradcheck(lambda x, w, b: batched_conv1d(x, w, b, padding),
+                         inputs)
+
+    def test_conv1d_kernel1_valid_fast_path(self):
+        rng = np.random.default_rng(1)
+        inputs = [t(rng, M, C_IN, N, L), t(rng, M, C_OUT, C_IN, 1),
+                  t(rng, M, C_OUT)]
+        assert gradcheck(lambda x, w, b: batched_conv1d(x, w, b, "valid"),
+                         inputs)
+
+    def test_conv1d_broadcast_model_axis(self):
+        # (1, C, N, L) activations against M stacked kernels: the input
+        # gradient must un-broadcast back to a leading axis of 1.
+        rng = np.random.default_rng(2)
+        inputs = [t(rng, 1, C_IN, N, L), t(rng, M, C_OUT, C_IN, K),
+                  t(rng, M, C_OUT)]
+        assert gradcheck(lambda x, w, b: batched_conv1d(x, w, b, "same"),
+                         inputs)
+
+    @pytest.mark.parametrize("padding", ["same", "causal"])
+    def test_glu(self, padding):
+        rng = np.random.default_rng(3)
+        inputs = [t(rng, M, C_IN, N, L), t(rng, M, C_IN, C_IN, K),
+                  t(rng, M, C_IN), t(rng, M, C_IN, C_IN, K), t(rng, M, C_IN)]
+        assert gradcheck(
+            lambda x, wv, bv, wg, bg: batched_glu(x, wv, bv, wg, bg, padding),
+            inputs)
+
+    def test_linear_cf(self):
+        rng = np.random.default_rng(4)
+        inputs = [t(rng, M, C_IN, N, L), t(rng, M, C_OUT, C_IN),
+                  t(rng, M, C_OUT)]
+        assert gradcheck(batched_linear_cf, inputs)
+
+    def test_attention(self):
+        rng = np.random.default_rng(5)
+        c, w = 3, 4
+        inputs = [t(rng, M, c, N, w), t(rng, M, c, N, w), t(rng, M, c, c),
+                  t(rng, M, c)]
+        assert gradcheck(batched_attention, inputs)
+
+    @pytest.mark.parametrize("with_mix", [False, True])
+    def test_relu_residual(self, with_mix):
+        rng = np.random.default_rng(6)
+        inputs = [t(rng, M, C_IN, N, L), t(rng, M, C_IN, N, L)]
+        if with_mix:
+            inputs.append(t(rng, M, C_IN, N, L))
+        assert gradcheck(batched_relu_residual, inputs)
+
+    def test_shift_right(self):
+        rng = np.random.default_rng(7)
+        assert gradcheck(batched_shift_right, [t(rng, M, C_IN, N, L)])
+
+    def test_training_loss(self):
+        rng = np.random.default_rng(8)
+        pred = t(rng, 1, C_IN, N, L)
+        target = rng.standard_normal(pred.shape)
+        frozen = rng.standard_normal(pred.shape)
+        assert gradcheck(
+            lambda p: fused_training_loss(p, target, frozen, 0.3,
+                                          saturation=0.7)[0],
+            [pred])
+
+
+class TestShapeValidation:
+    def test_conv1d_rejects_3d_input(self):
+        with pytest.raises(ValueError, match=r"\(M, C_in, N, L\)"):
+            batched_conv1d(Tensor(np.zeros((C_IN, N, L))),
+                           Tensor(np.zeros((M, C_OUT, C_IN, K))))
+
+    def test_conv1d_rejects_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channels"):
+            batched_conv1d(Tensor(np.zeros((M, C_IN + 1, N, L))),
+                           Tensor(np.zeros((M, C_OUT, C_IN, K))))
+
+    def test_conv1d_rejects_model_axis_mismatch(self):
+        with pytest.raises(ValueError, match="model axes"):
+            batched_conv1d(Tensor(np.zeros((3, C_IN, N, L))),
+                           Tensor(np.zeros((2, C_OUT, C_IN, K))))
+
+    def test_glu_rejects_weight_shape_mismatch(self):
+        with pytest.raises(ValueError, match="value/gate"):
+            batched_glu(Tensor(np.zeros((M, C_IN, N, L))),
+                        Tensor(np.zeros((M, C_IN, C_IN, K))), None,
+                        Tensor(np.zeros((M, C_IN, C_IN, K + 2))), None)
+
+    def test_attention_rejects_state_mismatch(self):
+        with pytest.raises(ValueError, match="matching"):
+            batched_attention(Tensor(np.zeros((M, C_IN, N, L))),
+                              Tensor(np.zeros((M, C_IN, N, L + 1))),
+                              Tensor(np.zeros((M, C_IN, C_IN))))
+
+
+def to_batched(x_ncl):
+    """(N, C, L) per-model layout -> (1, C, N, L) channel-major stacked."""
+    return np.ascontiguousarray(x_ncl.transpose(1, 0, 2))[None]
+
+
+def from_batched(data):
+    """(1, C, N, L) stacked output -> (N, C, L) per-model layout."""
+    return data[0].transpose(1, 0, 2)
+
+
+class TestPerModelParity:
+    """With M = 1 and float64, each batched op must match its per-model
+    counterpart (values and gradients) to rounding error."""
+
+    @pytest.mark.parametrize("padding", ["same", "causal", "valid"])
+    def test_conv1d(self, padding):
+        rng = np.random.default_rng(10)
+        x_ncl = rng.standard_normal((N, C_IN, L))
+        w = rng.standard_normal((C_OUT, C_IN, K))
+        b = rng.standard_normal(C_OUT)
+
+        ref_x = Tensor(x_ncl, requires_grad=True)
+        ref_w = Tensor(w, requires_grad=True)
+        ref_out = conv1d(ref_x, ref_w, Tensor(b), padding)
+        ref_out.sum().backward()
+
+        bat_x = Tensor(to_batched(x_ncl), requires_grad=True)
+        bat_w = Tensor(w[None], requires_grad=True)
+        bat_out = batched_conv1d(bat_x, bat_w, Tensor(b[None]), padding)
+        bat_out.sum().backward()
+
+        np.testing.assert_allclose(from_batched(bat_out.data), ref_out.data,
+                                   rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(from_batched(bat_x.grad), ref_x.grad,
+                                   rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(bat_w.grad[0], ref_w.grad,
+                                   rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("padding", ["same", "causal"])
+    def test_glu_matches_gluconv_module(self, padding):
+        rng = np.random.default_rng(11)
+        module = GLUConv(C_IN, K, padding, np.random.default_rng(1))
+        x_ncl = rng.standard_normal((N, C_IN, L))
+
+        ref_out = module(Tensor(x_ncl))
+        bat_out = batched_glu(
+            Tensor(to_batched(x_ncl)),
+            Tensor(module.conv_value.weight.data[None]),
+            Tensor(module.conv_value.bias.data[None]),
+            Tensor(module.conv_gate.weight.data[None]),
+            Tensor(module.conv_gate.bias.data[None]), padding)
+        np.testing.assert_allclose(from_batched(bat_out.data), ref_out.data,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_linear_cf_matches_functional_linear(self):
+        rng = np.random.default_rng(12)
+        x_ncl = rng.standard_normal((N, C_IN, L))
+        w = rng.standard_normal((C_OUT, C_IN))
+        b = rng.standard_normal(C_OUT)
+
+        # linear operates on trailing feature axes: (N, L, C_in).
+        ref_out = linear(Tensor(x_ncl.transpose(0, 2, 1)), Tensor(w),
+                         Tensor(b))
+        bat_out = batched_linear_cf(Tensor(to_batched(x_ncl)),
+                                    Tensor(w[None]), Tensor(b[None]))
+        np.testing.assert_allclose(from_batched(bat_out.data),
+                                   ref_out.data.transpose(0, 2, 1),
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_attention_matches_global_attention_module(self):
+        rng = np.random.default_rng(13)
+        c, w = 4, 6
+        module = GlobalAttention(c, np.random.default_rng(2))
+        d_ncl = rng.standard_normal((N, c, w))
+        e_ncl = rng.standard_normal((N, c, w))
+
+        ref_out, _ = module(Tensor(d_ncl), Tensor(e_ncl))
+        bat_out = batched_attention(Tensor(to_batched(d_ncl)),
+                                    Tensor(to_batched(e_ncl)),
+                                    Tensor(module.summary.weight.data[None]),
+                                    Tensor(module.summary.bias.data[None]))
+        np.testing.assert_allclose(from_batched(bat_out.data), ref_out.data,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_training_loss_matches_diversity_driven_loss(self):
+        rng = np.random.default_rng(14)
+        shape = (N, L, C_IN)
+        pred = rng.standard_normal(shape)
+        target = rng.standard_normal(shape)
+        frozen = rng.standard_normal(shape)
+
+        ref_pred = Tensor(pred, requires_grad=True)
+        ref_loss = diversity_driven_loss(ref_pred, Tensor(target), frozen,
+                                         0.4, saturation=0.9)
+        ref_loss.backward()
+
+        bat_pred = Tensor(pred.copy(), requires_grad=True)
+        loss, j_value, k_value = fused_training_loss(bat_pred, target, frozen,
+                                                     0.4, saturation=0.9)
+        loss.backward()
+
+        np.testing.assert_allclose(float(loss.data), float(ref_loss.data),
+                                   rtol=1e-12)
+        np.testing.assert_allclose(j_value, np.mean((pred - target) ** 2),
+                                   rtol=1e-12)
+        np.testing.assert_allclose(k_value, np.mean((pred - frozen) ** 2),
+                                   rtol=1e-12)
+        np.testing.assert_allclose(bat_pred.grad, ref_pred.grad,
+                                   rtol=1e-12, atol=1e-14)
+
+    def test_training_loss_without_diversity(self):
+        rng = np.random.default_rng(15)
+        pred = Tensor(rng.standard_normal((N, L)), requires_grad=True)
+        target = rng.standard_normal((N, L))
+        loss, j_value, k_value = fused_training_loss(pred, target)
+        assert k_value == 0.0
+        np.testing.assert_allclose(float(loss.data), j_value, rtol=1e-12)
+
+
+class TestDtypePolicy:
+    def test_float32_preserved_end_to_end(self):
+        rng = np.random.default_rng(16)
+        x = Tensor(rng.standard_normal((M, C_IN, N, L)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(rng.standard_normal((M, C_OUT, C_IN, K))
+                   .astype(np.float32), requires_grad=True)
+        out = batched_conv1d(x, w, padding="same")
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+        assert w.grad.dtype == np.float32
+
+    def test_float32_glu_matches_float64_loosely(self):
+        rng = np.random.default_rng(17)
+        x = rng.standard_normal((M, C_IN, N, L))
+        wv = rng.standard_normal((M, C_IN, C_IN, K))
+        wg = rng.standard_normal((M, C_IN, C_IN, K))
+        out64 = batched_glu(Tensor(x), Tensor(wv), None, Tensor(wg), None)
+        out32 = batched_glu(Tensor(x.astype(np.float32)),
+                            Tensor(wv.astype(np.float32)), None,
+                            Tensor(wg.astype(np.float32)), None)
+        np.testing.assert_allclose(out32.data, out64.data, rtol=1e-4,
+                                   atol=1e-5)

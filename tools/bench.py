@@ -9,7 +9,11 @@ diffable across commits:
   micro-batch (``score_windows_last``) latency, fused engine vs the
   per-model loop, across batch sizes;
 * ``BENCH_streaming.json`` — end-to-end ``StreamingDetector.update_batch``
-  throughput (observations/second), fused vs unfused.
+  throughput (observations/second), fused vs unfused;
+* ``BENCH_training.json`` (``--training``) — full ``CAEEnsemble.fit``
+  wall-clock on a Table 7-style config, fused batched trainer vs the
+  per-module reference loop, plus the loss-trajectory deviation between
+  the two (the equivalence contract of ``docs/performance.md``).
 
 The ensemble's basic models are random-initialised rather than trained:
 inference cost is independent of the weight values, and fabricating the
@@ -154,6 +158,54 @@ def bench_streaming(ensemble: CAEEnsemble, train: np.ndarray,
     return results
 
 
+def bench_training(embed_dim: int, n_layers: int, rounds: int,
+                   quick: bool) -> dict:
+    """Fused vs reference ``fit`` wall-clock on a Table 7-style config.
+
+    Unlike the inference benches the models must actually train, so the
+    config mirrors the standard bench budget of
+    :mod:`repro.experiments.runner` (embed 32, 2 layers) scaled to a few
+    CPU-seconds per fit.  Both paths consume identical RNG streams; the
+    loss-trajectory deviation between them is reported alongside the
+    speedup.
+    """
+    cae = CAEConfig(input_dim=DIMS, embed_dim=embed_dim, window=WINDOW,
+                    n_layers=n_layers)
+    base = dict(n_models=3 if quick else 5,
+                epochs_per_model=2 if quick else 3,
+                batch_size=64, seed=3,
+                max_training_windows=512 if quick else 1024)
+    series = make_series(2048)
+
+    def fit(fused: bool) -> CAEEnsemble:
+        config = EnsembleConfig(**base, fused_training=fused)
+        return CAEEnsemble(cae, config).fit(series)
+
+    reference = fused = float("inf")
+    for _ in range(rounds):
+        tick = time.perf_counter()
+        ref_ensemble = fit(False)
+        reference = min(reference, time.perf_counter() - tick)
+        tick = time.perf_counter()
+        fused_ensemble = fit(True)
+        fused = min(fused, time.perf_counter() - tick)
+
+    ref_losses = np.array([r.loss for r in ref_ensemble.history])
+    fused_losses = np.array([r.loss for r in fused_ensemble.history])
+    deviation = float(np.max(np.abs(ref_losses - fused_losses) /
+                             np.maximum(np.abs(ref_losses), 1e-12)))
+    return {
+        "config": dict(base, embed_dim=embed_dim, n_layers=n_layers,
+                       window=WINDOW, input_dim=DIMS),
+        "reference_seconds": reference,
+        "fused_seconds": fused,
+        "speedup": reference / fused,
+        "fused_training_dtype": "float32",
+        "loss_trajectory_max_rel_deviation": deviation,
+        "epochs_recorded": len(ref_losses),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--models", type=int, default=40)
@@ -163,6 +215,9 @@ def main(argv=None) -> int:
     parser.add_argument("--stream-length", type=int, default=512)
     parser.add_argument("--quick", action="store_true",
                         help="fewer rounds / shorter stream (CI smoke)")
+    parser.add_argument("--training", action="store_true",
+                        help="also bench fused vs reference ensemble "
+                             "training and emit BENCH_training.json")
     parser.add_argument("--emit-telemetry", action="store_true",
                         help="run the benches against a fresh metrics "
                              "registry and dump its JSON snapshot as "
@@ -225,15 +280,28 @@ def main(argv=None) -> int:
         stream = make_series(4096 + stream_length)[-stream_length:]
         streaming = bench_streaming(ensemble, series, stream,
                                     args.micro_batch, max(2, rounds // 2))
+        training = None
+        if args.training:
+            training = bench_training(args.embed_dim, args.layers,
+                                      2 if args.quick else 3, args.quick)
     print(f"  streaming update_batch({args.micro_batch}): "
           f"unfused {streaming['unfused']['observations_per_second']:7.0f}"
           f" obs/s  fused "
           f"{streaming['fused']['observations_per_second']:7.0f} obs/s  "
           f"-> {streaming['speedup']:.1f}x")
+    if training is not None:
+        print(f"  training fit: reference "
+              f"{training['reference_seconds']:6.2f} s  fused "
+              f"{training['fused_seconds']:6.2f} s  "
+              f"-> {training['speedup']:.1f}x  "
+              f"(loss dev {training['loss_trajectory_max_rel_deviation']:.1e})")
 
     os.makedirs(args.out, exist_ok=True)
-    for name, payload in (("BENCH_inference.json", inference),
-                          ("BENCH_streaming.json", streaming)):
+    outputs = [("BENCH_inference.json", inference),
+               ("BENCH_streaming.json", streaming)]
+    if training is not None:
+        outputs.append(("BENCH_training.json", training))
+    for name, payload in outputs:
         path = os.path.join(args.out, name)
         with open(path, "w") as handle:
             json.dump({"meta": meta, "results": payload}, handle, indent=2)
