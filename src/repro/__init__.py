@@ -22,6 +22,11 @@ Package layout
                       (counters/gauges/streaming histograms), span
                       tracing across the refresh lifecycle, and
                       Prometheus/JSON/logging exporters
+``repro.runtime``     the multi-process fleet runtime: shared-memory
+                      fused weight packs, a forked build pool behind the
+                      coordinator's runner seam, a cross-process build
+                      broker, and a :class:`ShardedFleet` spreading
+                      streams over server processes
 
 Quickstart
 ----------
@@ -36,7 +41,7 @@ Quickstart
 __version__ = "1.0.0"
 
 from . import (baselines, core, datasets, experiments, metrics, nn, obs,
-               streaming)
+               runtime, streaming)
 
 __all__ = ["baselines", "core", "datasets", "experiments", "metrics", "nn",
-           "obs", "streaming", "__version__"]
+           "obs", "runtime", "streaming", "__version__"]

@@ -8,15 +8,17 @@ from .diversity import (diversity_driven_loss, diversity_term,
                         reconstruction_loss)
 from .embedding import InputEmbedding
 from .ensemble import CAEEnsemble, EpochRecord, TrainingCancelled
-from .fused import FusedEnsembleScorer
+from .fused import FusedEnsembleScorer, fingerprint_arrays
 from .hyperparams import (DEFAULT_BETA_RANGE, DEFAULT_LAMBDA_RANGE,
                           DEFAULT_WINDOW_RANGE,
                           PAPER_SELECTED_HYPERPARAMETERS, SelectionResult,
                           Trial, median_trial, select_hyperparameters)
 from .layers import DecoderLayer, Encoder, EncoderLayer, GLUConv
 from .persistence import (load_ensemble, load_fleet,
+                          load_sharded_fleet,
                           load_streaming_detector, save_ensemble,
-                          save_fleet, save_streaming_detector,
+                          save_fleet, save_sharded_fleet,
+                          save_streaming_detector,
                           verify_checkpoint)
 from .ratio_estimation import (elbow_ratio_estimate, estimate_outlier_ratio,
                                gaussian_tail_estimate, mad_ratio_estimate,
@@ -35,11 +37,14 @@ __all__ = [
     "TransferReport", "Trial",
     "diversity_driven_loss", "diversity_term", "elbow_ratio_estimate",
     "ensemble_diversity", "ensemble_reconstruction",
-    "estimate_outlier_ratio", "fast_config", "gaussian_tail_estimate",
+    "estimate_outlier_ratio", "fast_config", "fingerprint_arrays",
+    "gaussian_tail_estimate",
     "interpolate_over_mask", "load_ensemble", "load_fleet",
+    "load_sharded_fleet",
     "load_streaming_detector", "mad_ratio_estimate", "median_trial",
     "paper_config", "pairwise_diversity", "ratio_report",
     "reconstruction_loss", "repair_quality", "repair_series",
-    "save_ensemble", "save_fleet", "save_streaming_detector",
+    "save_ensemble", "save_fleet", "save_sharded_fleet",
+    "save_streaming_detector",
     "select_hyperparameters", "transfer_parameters", "verify_checkpoint",
 ]

@@ -51,6 +51,7 @@ refreshing, which builds new instances, is detected automatically).
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -307,6 +308,147 @@ class FusedEnsembleScorer:
                                         padding=padding, dtype=dtype,
                                         fold_bias=fold)
         return packed
+
+    # ------------------------------------------------------------------
+    # Pack export / attach (shared-memory serving)
+    # ------------------------------------------------------------------
+    # The packed tensors are flat, contiguous and read-only at serve
+    # time, so a scorer can be serialised as a list of arrays plus a
+    # small structural manifest and re-materialised in another process
+    # on top of externally owned buffers (``repro.runtime.shm`` maps
+    # them zero-copy out of ``multiprocessing.shared_memory``).
+
+    PACK_VERSION = 1
+
+    def export_pack(self) -> Tuple[dict, "Dict[str, np.ndarray]"]:
+        """Flatten the packed weights into ``(meta, arrays)``.
+
+        ``meta`` is a JSON-pure structural manifest (pack kinds, conv
+        geometry, bias folding) and ``arrays`` an ordered mapping of
+        array key -> stacked ``(M, ...)`` tensor.  Together they fully
+        determine a scorer: :meth:`from_export` rebuilds one whose
+        scores are bit-identical to this instance's, even when the
+        arrays are read-only views into a shared-memory segment.
+        """
+        packs: List[dict] = []
+        arrays: Dict[str, np.ndarray] = {}
+
+        def put(key: str, entry: dict, weight: np.ndarray,
+                bias: Optional[np.ndarray]) -> None:
+            entry = dict(entry, key=key, has_bias=bias is not None)
+            packs.append(entry)
+            arrays[key + ".weight"] = weight
+            if bias is not None:
+                arrays[key + ".bias"] = bias
+
+        def put_conv(key: str, pack: _ConvPack) -> None:
+            put(key, {"kind": "conv", "kernel_size": pack.kernel_size,
+                      "left": pack.left, "right": pack.right,
+                      "folded": pack.folded}, pack.weight, pack.bias)
+
+        put("embedding", {"kind": "linear"}, self._embedding.weight,
+            self._embedding.bias)
+        packs.append({"kind": "array", "key": "positions"})
+        arrays["positions"] = self._positions
+        for layer in range(self.config.n_layers):
+            for prefix, blocks in (("enc", self._encoder),
+                                   ("dec", self._decoder)):
+                block = blocks[layer]
+                if "glu_v" in block:
+                    put_conv(f"{prefix}{layer}.glu_v", block["glu_v"])
+                    put_conv(f"{prefix}{layer}.glu_g", block["glu_g"])
+                put_conv(f"{prefix}{layer}.conv", block["conv"])
+            if self.config.use_attention:
+                pack = self._attention[layer]
+                put(f"att{layer}", {"kind": "linear"}, pack.weight,
+                    pack.bias)
+        if self._output_glu is not None:
+            put_conv("out.glu_v", self._output_glu["glu_v"])
+            put_conv("out.glu_g", self._output_glu["glu_g"])
+        put_conv("recon", self._reconstruction)
+        meta = {
+            "version": self.PACK_VERSION,
+            "n_models": self.n_models,
+            "dtype": self.dtype.str,
+            "aggregation": self.aggregation,
+            "packs": packs,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_export(cls, cae_config: CAEConfig, meta: dict,
+                    arrays: "Dict[str, np.ndarray]",
+                    registry=None) -> "FusedEnsembleScorer":
+        """Rebuild a scorer from :meth:`export_pack` output.
+
+        The arrays are adopted as-is — typically read-only views into a
+        shared-memory segment, making the attach zero-copy.  The
+        returned scorer has no ``packed_models`` (it never saw the model
+        instances), so :meth:`matches` is False for any model list;
+        attach it explicitly where a cached scorer is expected.
+        """
+        if meta.get("version") != cls.PACK_VERSION:
+            raise ValueError(f"unsupported pack version "
+                             f"{meta.get('version')!r} "
+                             f"(expected {cls.PACK_VERSION})")
+        self = object.__new__(cls)
+        self.config = cae_config
+        self.aggregation = meta["aggregation"]
+        self.dtype = np.dtype(meta["dtype"])
+        self._exact = self.dtype == np.float64
+        self.n_models = int(meta["n_models"])
+        self.packed_models = ()
+        self._local = threading.local()
+        self._obs = _FusedTelemetry(registry if registry is not None
+                                    else default_registry())
+
+        def conv_from(entry: dict) -> _ConvPack:
+            pack = object.__new__(_ConvPack)
+            pack.kernel_size = entry["kernel_size"]
+            pack.left, pack.right = entry["left"], entry["right"]
+            pack.folded = entry["folded"]
+            pack.weight = arrays[entry["key"] + ".weight"]
+            pack.bias = arrays.get(entry["key"] + ".bias")
+            return pack
+
+        def linear_from(entry: dict) -> _LinearPack:
+            pack = object.__new__(_LinearPack)
+            pack.weight = arrays[entry["key"] + ".weight"]
+            pack.bias = arrays.get(entry["key"] + ".bias")
+            return pack
+
+        self._encoder = [{} for _ in range(cae_config.n_layers)]
+        self._decoder = [{} for _ in range(cae_config.n_layers)]
+        self._attention = []
+        self._output_glu = None
+        for entry in meta["packs"]:
+            key = entry["key"]
+            if key == "embedding":
+                self._embedding = linear_from(entry)
+            elif key == "positions":
+                self._positions = arrays["positions"]
+            elif key == "recon":
+                self._reconstruction = conv_from(entry)
+            elif key.startswith("att"):
+                self._attention.append(linear_from(entry))
+            elif key.startswith("out."):
+                if self._output_glu is None:
+                    self._output_glu = {}
+                self._output_glu[key.split(".", 1)[1]] = conv_from(entry)
+            elif key.startswith(("enc", "dec")):
+                head, part = key.split(".", 1)
+                layers = self._encoder if head.startswith("enc") \
+                    else self._decoder
+                layers[int(head[3:])][part] = conv_from(entry)
+            else:
+                raise ValueError(f"unknown pack key {key!r}")
+        return self
+
+    def pack_fingerprint(self) -> str:
+        """Content fingerprint of the packed weights (see
+        :func:`fingerprint_arrays`)."""
+        _, arrays = self.export_pack()
+        return fingerprint_arrays(arrays)
 
     # ------------------------------------------------------------------
     # Batched layers
@@ -573,6 +715,20 @@ class FusedEnsembleScorer:
         with cls._chunk_tune_lock:
             cls._tuned_chunk_rows = None
 
+    @classmethod
+    def pin_chunk_rows(cls, rows: int) -> None:
+        """Pin the process-wide chunk target and disable auto-tuning.
+
+        Benchmarks pin an explicit value so their measurements cannot
+        depend on whatever chunk size an earlier test happened to tune
+        (the tuned value is process-global); pair with
+        :meth:`reset_chunk_autotune` to restore tuning afterwards.
+        """
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        with cls._chunk_tune_lock:
+            cls._tuned_chunk_rows = int(rows)
+
     def _maybe_autotune_chunk(self, windows_cf: np.ndarray, m: int) -> None:
         """First-call chunk-size auto-tune.
 
@@ -692,5 +848,24 @@ class FusedEnsembleScorer:
         instances (identity, not value, comparison — in-place weight
         mutation is invisible here and requires an explicit rebuild)."""
         return len(models) == self.n_models and \
+            len(models) == len(self.packed_models) and \
             all(model is packed for model, packed
                 in zip(models, self.packed_models))
+
+
+def fingerprint_arrays(arrays: "Dict[str, np.ndarray]") -> str:
+    """SHA-256 over the pack's keys, shapes, dtypes and raw bytes.
+
+    The publish/attach handshake in :mod:`repro.runtime.shm` stores this
+    in the generation manifest and re-hashes the mapped segment before
+    serving from it, so a torn publish (a crashed publisher, a partial
+    write) is detected instead of silently scoring garbage.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.dtype.str.encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()

@@ -449,3 +449,37 @@ def load_fleet(directory: str, refresher_factory=None,
         refresher_factory=refresher_factory,
         detector_factory=detector_factory,
         coordinator=coordinator)
+
+
+# ----------------------------------------------------------------------
+# Sharded fleets (repro.runtime.fleet)
+# ----------------------------------------------------------------------
+def save_sharded_fleet(fleet, directory: str) -> str:
+    """Checkpoint a live :class:`repro.runtime.fleet.ShardedFleet`.
+
+    Layout: one ``shard_<i>/`` fleet checkpoint per server process —
+    written *by* that process through :func:`save_fleet`, so ensemble
+    weights never cross the control pipe — plus a ``sharded.json``
+    manifest recording the shard count (routing is
+    ``crc32(name) % n_shards``, so the count is part of the state).
+    Returns the manifest path.
+    """
+    return fleet.checkpoint(directory)
+
+
+def load_sharded_fleet(directory: str, refresher_factory=None,
+                       detector_factory=None, **kwargs):
+    """Resume a sharded fleet saved by :func:`save_sharded_fleet`.
+
+    Forks one server per saved shard; each loads its own ``shard_<i>/``
+    checkpoint via :func:`load_fleet`.  ``kwargs`` pass through to
+    :class:`~repro.runtime.fleet.ShardedFleet` (``broker``,
+    ``n_build_workers``, ``namespace``, ...).  Imported lazily so the
+    core package stays loadable where the runtime package's fork
+    requirement cannot be met.
+    """
+    from ..runtime.fleet import ShardedFleet
+    return ShardedFleet.restore(directory,
+                                refresher_factory=refresher_factory,
+                                detector_factory=detector_factory,
+                                **kwargs)

@@ -28,7 +28,7 @@ False
 
 from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
                        NullRegistry, default_registry, log_bucket_edges,
-                       set_default_registry, use_registry)
+                       merge_snapshots, set_default_registry, use_registry)
 from .tracing import (NullTracer, Span, SpanContext, SpanRing, Tracer,
                       default_tracer, set_default_tracer, trace,
                       use_tracer)
@@ -39,7 +39,7 @@ from .exporters import (StructuredFormatter, log_metrics, log_spans,
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
     "default_registry", "set_default_registry", "use_registry",
-    "log_bucket_edges",
+    "log_bucket_edges", "merge_snapshots",
     "NullTracer", "Span", "SpanContext", "SpanRing", "Tracer",
     "default_tracer", "set_default_tracer", "trace", "use_tracer",
     "StructuredFormatter", "log_metrics", "log_spans",

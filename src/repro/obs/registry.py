@@ -53,7 +53,7 @@ from contextlib import contextmanager
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
     "default_registry", "set_default_registry", "use_registry",
-    "log_bucket_edges",
+    "log_bucket_edges", "merge_snapshots",
 ]
 
 # Default histogram geometry: 1 µs .. 10 min, 9 buckets per decade.
@@ -431,3 +431,132 @@ def use_registry(registry):
         yield registry
     finally:
         set_default_registry(previous)
+
+
+def _merged_quantile(q, edges, counts, overflow, total, low, high):
+    """Quantile over merged per-bucket counts, same estimator as
+    :meth:`Histogram.quantile` (log interpolation, clamped to data)."""
+    rank = q * total
+    cumulative = 0
+    for index, bucket_count in enumerate(list(counts) + [overflow]):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            fraction = (rank - cumulative) / bucket_count
+            if index >= len(edges):                 # overflow bucket
+                estimate = high
+            else:
+                upper = edges[index]
+                if index > 0:
+                    lower = edges[index - 1]
+                elif len(edges) > 1:
+                    lower = upper / (edges[1] / edges[0])
+                else:
+                    lower = upper
+                if lower <= 0:
+                    estimate = upper * fraction
+                else:
+                    estimate = lower * (upper / lower) ** fraction
+            return min(max(estimate, low), high)
+        cumulative += bucket_count
+    return high
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Merge per-process registry ``snapshot()`` dicts into one view.
+
+    The sharded fleet runtime collects one snapshot per server process
+    and needs a single ``telemetry()`` answer; this is the read-side
+    merge.  Semantics, per instrument family:
+
+    * **Counters** with the same ``(name, labels)`` are summed — fleet
+      totals for throughput/error counters.
+    * **Gauges** are summed too.  That is a documented choice: the
+      gauges this codebase exports (queue depth, in-flight builds,
+      history occupancy) are additive across processes, so the sum *is*
+      the fleet reading.  Non-additive gauges would need labels that
+      keep the shards apart.
+    * **Histograms** are rebuilt from their cumulative buckets:
+      per-bucket counts are summed per upper bound, ``count``/``sum``
+      added, ``min``/``max`` combined, and p50/p95/p99 re-estimated
+      with the same logarithmic in-bucket interpolation
+      :meth:`Histogram.quantile` uses — exact at bucket resolution,
+      which is the resolution the originals had anyway.
+
+    Input entries are never mutated; the result has the same JSON-pure
+    shape ``MetricsRegistry.snapshot()`` produces.
+    """
+    counters: dict = {}
+    gauges: dict = {}
+    histograms: dict = {}
+
+    def key_of(entry):
+        return (entry["name"], tuple(sorted(entry["labels"].items())))
+
+    for snapshot in snapshots:
+        for entry in snapshot.get("counters", ()):
+            slot = counters.setdefault(key_of(entry), {
+                "name": entry["name"], "labels": dict(entry["labels"]),
+                "value": 0})
+            slot["value"] += entry["value"]
+        for entry in snapshot.get("gauges", ()):
+            slot = gauges.setdefault(key_of(entry), {
+                "name": entry["name"], "labels": dict(entry["labels"]),
+                "value": 0.0})
+            slot["value"] += entry["value"]
+        for entry in snapshot.get("histograms", ()):
+            slot = histograms.setdefault(key_of(entry), {
+                "name": entry["name"], "labels": dict(entry["labels"]),
+                "count": 0, "sum": 0.0, "min": None, "max": None,
+                "bucket_counts": {}})
+            slot["count"] += entry["count"]
+            slot["sum"] += entry["sum"]
+            for bound in ("min", "max"):
+                value = entry.get(bound)
+                if value is None:
+                    continue
+                pick = min if bound == "min" else max
+                slot[bound] = value if slot[bound] is None \
+                    else pick(slot[bound], value)
+            previous = 0
+            for bucket in entry.get("buckets", ()):
+                le = bucket["le"]
+                slot["bucket_counts"][le] = (
+                    slot["bucket_counts"].get(le, 0)
+                    + bucket["count"] - previous)
+                previous = bucket["count"]
+
+    merged_histograms = []
+    for _, slot in sorted(histograms.items()):
+        edges = sorted(slot.pop("bucket_counts").items())
+        bounds = [le for le, _ in edges]
+        counts = [count for _, count in edges]
+        overflow = slot["count"] - sum(counts)
+        entry = {"name": slot["name"], "labels": slot["labels"],
+                 "count": slot["count"], "sum": slot["sum"],
+                 "min": slot["min"], "max": slot["max"]}
+        if slot["count"] > 0:
+            low = slot["min"] if slot["min"] is not None else 0.0
+            high = slot["max"] if slot["max"] is not None else low
+            entry.update({
+                f"p{int(q * 100)}": _merged_quantile(
+                    q, bounds, counts, overflow, slot["count"], low, high)
+                for q in (0.50, 0.95, 0.99)})
+        else:
+            entry.update({"p50": None, "p95": None, "p99": None})
+        pairs, cumulative = [], 0
+        for le, count in zip(bounds, counts):
+            cumulative += count
+            if cumulative == 0:
+                continue
+            pairs.append({"le": le, "count": cumulative})
+            if cumulative >= slot["count"]:
+                break
+        entry["buckets"] = pairs
+        merged_histograms.append(entry)
+
+    return {
+        "counters": [slot for _, slot in sorted(counters.items())],
+        "gauges": [slot for _, slot in sorted(gauges.items())],
+        "histograms": merged_histograms,
+    }

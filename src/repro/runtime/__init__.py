@@ -1,0 +1,45 @@
+"""``repro.runtime`` — the multi-process fleet runtime.
+
+The streaming stack (:mod:`repro.streaming`) serves and refreshes inside
+one process; this package moves the expensive halves out of it:
+
+* :mod:`repro.runtime.shm` — fused weight packs published through
+  ``multiprocessing.shared_memory`` with a generation-tagged manifest:
+  a build worker exports a replacement ensemble's fused pack once, and
+  every server process attaches it zero-copy (read-only views into the
+  segment), verified by a SHA-256 fingerprint against torn publishes.
+* :mod:`repro.runtime.pool` — :class:`ProcessBuildPool`, forked build
+  workers behind the coordinator's ``build_runner`` seam: admission,
+  dedup, fan-out and cancellation stay in-process, the training CPU
+  moves out.
+* :mod:`repro.runtime.broker` — :class:`BuildBroker`, the admission
+  queue itself as a process: one broker owns the priority queue and
+  identity dedup for N server processes, pool workers pull builds, and
+  one published pack fans out to every subscribing server.  Servers
+  degrade to inline-thread refresh if the broker dies.
+* :mod:`repro.runtime.fleet` — :class:`ShardedFleet`, a
+  :class:`~repro.streaming.multi.StreamFleet` sharded over N forked
+  server processes (stable crc32 routing), with scatter/gather
+  micro-batch ingest, merged telemetry
+  (:func:`repro.obs.merge_snapshots`) and per-shard checkpoints.
+
+POSIX only: everything forks, nothing pickles an mp primitive.
+"""
+
+from .shm import (AttachedPack, OrphanedSegmentError, PackServedEnsemble,
+                  TornPackError, attach_pack, attach_pack_to_ensemble,
+                  list_segments, publish_pack, segment_namespace,
+                  set_segment_namespace, sweep_orphans, unlink_pack)
+from .pool import ProcessBuildPool, WorkerCrashed, worker_context
+from .broker import BrokerClient, BuildBroker, ProcessCoordinator
+from .fleet import ShardCrashed, ShardedFleet, shard_for
+
+__all__ = [
+    "AttachedPack", "OrphanedSegmentError", "PackServedEnsemble",
+    "TornPackError", "attach_pack", "attach_pack_to_ensemble",
+    "list_segments", "publish_pack", "segment_namespace",
+    "set_segment_namespace", "sweep_orphans", "unlink_pack",
+    "ProcessBuildPool", "WorkerCrashed", "worker_context",
+    "BrokerClient", "BuildBroker", "ProcessCoordinator",
+    "ShardCrashed", "ShardedFleet", "shard_for",
+]

@@ -1,0 +1,758 @@
+"""Cross-process refresh admission: broker, ports, degradable clients.
+
+:class:`~repro.streaming.coordinator.RefreshCoordinator` keeps one
+process honest; a *sharded* fleet has N server processes whose streams
+may drift together, and admission control (bounded concurrency, priority,
+identity dedup, one-build-fans-out-to-K-subscribers) must span all of
+them.  :class:`BuildBroker` moves the coordinator's queue into a broker
+process:
+
+* server processes submit over a shared inbox queue; each server owns a
+  **port** (a reply queue created before the fork, so every process
+  inherits the plumbing);
+* the broker owns the priority queue and dedup table (keyed by an
+  explicit ``ensemble_key`` — object identity cannot cross a process
+  boundary) and dispatches admitted builds to its pool of build worker
+  processes (:func:`repro.runtime.pool._worker_main`, the same loop the
+  in-process pool uses);
+* a finished build is published **once** to shared memory; the broker
+  fans the manifest out to every subscribing port, and each server
+  attaches the same segment zero-copy.  When a newer generation for the
+  same ensemble key resolves, the superseded segment is unlinked (live
+  mappings stay valid; new attaches fail over to a local re-pack).
+
+Failure model — the part the fault-injection battery exercises: clients
+probe the broker process for liveness on every port pump.  A dead broker
+resolves all pending requests to ``discarded`` (each engine restores its
+refresh request at the next boundary, exactly like a coordinator
+shutdown) and flips the client into **degraded mode**, where submits run
+on a private in-process :class:`~repro.streaming.worker.RefreshWorker`
+thread — refreshes keep happening locally, serving never deadlocks.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import multiprocessing as mp
+import os
+import queue
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..streaming.coordinator import AdmissionClosed, CoordinatorStats
+from ..streaming.worker import (REFIRE_POLICIES, RefreshHandle,
+                                RefreshWorker, _BuildConsumer)
+from . import shm
+from .pool import _worker_main
+
+_POLL_SECONDS = 0.05
+ADMISSION_POLICIES = ("fifo", "priority")
+
+
+def _pid_alive(pid: Optional[int]) -> bool:
+    if pid is None:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+# ----------------------------------------------------------------------
+# Broker process
+# ----------------------------------------------------------------------
+class _BrokerBuild:
+    __slots__ = ("job_id", "key", "priority", "seq", "status", "payload",
+                 "subscribers", "worker_index", "cancel_requested")
+
+    def __init__(self, job_id, key, priority, seq, payload):
+        self.job_id = job_id
+        self.key = key
+        self.priority = priority
+        self.seq = seq
+        self.status = "queued"            # queued -> building -> terminal
+        self.payload = payload            # (refresher, ensemble, history,
+        self.subscribers = []             #  kwargs)
+        self.worker_index = None
+        self.cancel_requested = False
+
+
+def _broker_main(inbox, ports, tasks, cancel_events, max_concurrent,
+                 policy, namespace, drain_timeout) -> None:
+    shm.set_segment_namespace(namespace)
+    builds: Dict[int, _BrokerBuild] = {}
+    pending: List[int] = []
+    running: List[int] = []
+    worker_jobs: Dict[int, int] = {}
+    latest_manifest: Dict[str, dict] = {}
+    counters = {"n_requests": 0, "n_deduped": 0, "n_admitted": 0,
+                "n_completed": 0, "n_failed": 0, "n_cancelled": 0,
+                "max_concurrent": 0}
+    next_job = 0
+    shutting_down = False
+    deadline = None
+
+    def reply(port_index, message):
+        try:
+            ports[port_index].put(message)
+        except (ValueError, OSError):
+            pass
+
+    def pump():
+        while pending and len(running) < max_concurrent:
+            if policy == "priority":
+                job_id = min(pending, key=lambda j: (-builds[j].priority,
+                                                     builds[j].seq))
+                pending.remove(job_id)
+            else:
+                job_id = pending.pop(0)
+            build = builds[job_id]
+            build.status = "building"
+            running.append(job_id)
+            counters["n_admitted"] += 1
+            counters["max_concurrent"] = max(counters["max_concurrent"],
+                                             len(running))
+            refresher, ensemble, history, kwargs = build.payload
+            build.payload = None          # the task queue holds it now
+            tasks.put((job_id, refresher, ensemble, history, kwargs,
+                       True, None))
+
+    def fan_out(build, status, replacement=None, report=None,
+                manifest=None, error=None):
+        for port_index, request_id, trigger_index in build.subscribers:
+            fan_report = report
+            if status == "ready":
+                try:
+                    fan_report = dataclasses.replace(
+                        report, trigger_index=trigger_index)
+                except TypeError:
+                    pass
+            reply(port_index, ("resolved", request_id, status,
+                               replacement, fan_report, manifest, error))
+        build.subscribers = []
+
+    def finish(job_id, status, replacement=None, report=None,
+               manifest=None, error=None):
+        build = builds.pop(job_id, None)
+        if build is None:
+            if manifest is not None:
+                shm.unlink_pack(manifest)
+            return
+        if job_id in running:
+            running.remove(job_id)
+        if build.worker_index is not None:
+            worker_jobs.pop(build.worker_index, None)
+        if status == "ready" and build.subscribers:
+            counters["n_completed"] += 1
+            if manifest is not None:
+                superseded = latest_manifest.get(build.key)
+                latest_manifest[build.key] = manifest
+                if superseded is not None:
+                    # Live mappings survive the unlink; only new attaches
+                    # fail (and fall back to a local re-pack).
+                    shm.unlink_pack(superseded)
+        else:
+            if manifest is not None:
+                shm.unlink_pack(manifest)
+            if status == "failed":
+                counters["n_failed"] += 1
+            else:
+                counters["n_cancelled"] += 1
+                status = "discarded"
+        fan_out(build, "ready" if status == "ready" else
+                ("failed" if status == "failed" else "discarded"),
+                replacement, report, manifest, error)
+        pump()
+
+    while True:
+        try:
+            message = inbox.get(timeout=_POLL_SECONDS)
+        except queue.Empty:
+            if shutting_down and (not running
+                                  or time.monotonic() > deadline):
+                break
+            continue
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "submit":
+            (_, port_index, request_id, key, priority, trigger_index,
+             refresher, ensemble, history, kwargs) = message
+            if shutting_down:
+                reply(port_index, ("resolved", request_id, "discarded",
+                                   None, None, None, None))
+                continue
+            counters["n_requests"] += 1
+            joined = False
+            for build in builds.values():
+                if build.key == key and build.status in ("queued",
+                                                         "building") \
+                        and not build.cancel_requested:
+                    build.subscribers.append((port_index, request_id,
+                                              trigger_index))
+                    counters["n_deduped"] += 1
+                    joined = True
+                    break
+            if joined:
+                continue
+            build = _BrokerBuild(next_job, key, priority, next_job,
+                                 (refresher, ensemble, history, kwargs))
+            build.subscribers.append((port_index, request_id,
+                                      trigger_index))
+            builds[next_job] = build
+            pending.append(next_job)
+            next_job += 1
+            pump()
+        elif kind == "cancel":
+            _, port_index, request_id = message
+            for job_id, build in list(builds.items()):
+                subscribers = [s for s in build.subscribers
+                               if s[:2] != (port_index, request_id)]
+                if len(subscribers) == len(build.subscribers):
+                    continue
+                build.subscribers = subscribers
+                if not subscribers:
+                    build.cancel_requested = True
+                    if build.status == "queued":
+                        pending.remove(job_id)
+                        builds.pop(job_id)
+                        counters["n_cancelled"] += 1
+                    elif build.worker_index is not None:
+                        cancel_events[build.worker_index].set()
+                break
+        elif kind == "stats":
+            _, port_index, request_id = message
+            reply(port_index, ("stats", request_id, dict(counters),
+                               len(pending), len(running)))
+        elif kind == "shutdown":
+            shutting_down = True
+            deadline = time.monotonic() + drain_timeout
+            for job_id in list(pending):
+                pending.remove(job_id)
+                build = builds.pop(job_id)
+                counters["n_cancelled"] += 1
+                fan_out(build, "discarded")
+            for job_id in running:
+                build = builds[job_id]
+                build.cancel_requested = True
+                if build.worker_index is not None:
+                    cancel_events[build.worker_index].set()
+            if not running:
+                break
+        elif kind == "started":
+            _, job_id, worker_index, _pid = message
+            build = builds.get(job_id)
+            if build is None:
+                continue
+            build.worker_index = worker_index
+            worker_jobs[worker_index] = job_id
+            if build.cancel_requested:
+                cancel_events[worker_index].set()
+        elif kind in ("done", "cancelled", "failed"):
+            _, job_id, first, report, manifest = message
+            if kind == "done":
+                finish(job_id, "ready", replacement=first, report=report,
+                       manifest=manifest)
+            elif kind == "failed":
+                finish(job_id, "failed", error=first)
+            else:
+                finish(job_id, "cancelled")
+    # Drain hit its deadline or every build resolved: abandon stragglers
+    # so no subscriber is left waiting on a queue nobody will feed.
+    for job_id in list(builds):
+        finish(job_id, "cancelled")
+    for manifest in latest_manifest.values():
+        shm.unlink_pack(manifest)
+    shm.sweep_orphans(namespace)
+
+
+class BuildBroker:
+    """Owns the broker process, its build workers and the port queues.
+
+    Construct (and :meth:`port`) **before** forking server processes so
+    the queues are inherited everywhere.  The constructing process owns
+    the lifecycle: call :meth:`shutdown` when the fleet stops.
+
+    Parameters
+    ----------
+    n_ports:        server ports to pre-create (one per server process).
+    n_workers:      build worker processes (defaults to
+                    ``max_concurrent_builds``).
+    max_concurrent_builds / policy: admission config, exactly as on
+                    :class:`~repro.streaming.coordinator.RefreshCoordinator`.
+    worker_context: fork-inherited dict exposed to build workers via
+                    :func:`repro.runtime.pool.worker_context` (test
+                    gates; see the pool docs).
+    namespace:      shm namespace for published packs.
+    """
+
+    def __init__(self, n_ports: int = 1, n_workers: Optional[int] = None,
+                 max_concurrent_builds: int = 1, policy: str = "fifo",
+                 worker_context: Optional[dict] = None,
+                 namespace: Optional[str] = None,
+                 drain_timeout: float = 10.0):
+        if n_ports < 1:
+            raise ValueError(f"n_ports must be >= 1, got {n_ports}")
+        if max_concurrent_builds < 1:
+            raise ValueError(f"max_concurrent_builds must be >= 1, "
+                             f"got {max_concurrent_builds}")
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(f"policy must be one of {ADMISSION_POLICIES}, "
+                             f"got {policy!r}")
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError("BuildBroker requires the 'fork' start "
+                               "method (POSIX)")
+        self._ctx = mp.get_context("fork")
+        self.max_concurrent_builds = int(max_concurrent_builds)
+        self.policy = policy
+        self.namespace = shm.segment_namespace() if namespace is None \
+            else namespace
+        self.n_workers = self.max_concurrent_builds if n_workers is None \
+            else int(n_workers)
+        self._inbox = self._ctx.Queue()
+        self._tasks = self._ctx.Queue()
+        self._port_queues = [self._ctx.Queue() for _ in range(n_ports)]
+        self._cancel_events = [self._ctx.Event()
+                               for _ in range(self.n_workers)]
+        context = dict(worker_context or {})
+        self._workers = []
+        for index in range(self.n_workers):
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(index, self._tasks, self._inbox,
+                      self._cancel_events[index], context, self.namespace),
+                name=f"broker-build-{index}", daemon=True)
+            process.start()
+            self._workers.append(process)
+        self._process = self._ctx.Process(
+            target=_broker_main,
+            args=(self._inbox, self._port_queues, self._tasks,
+                  self._cancel_events, self.max_concurrent_builds,
+                  policy, self.namespace, drain_timeout),
+            name="refresh-broker", daemon=True)
+        self._process.start()
+        self._closed = False
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid
+
+    def alive(self) -> bool:
+        return self._process.exitcode is None and _pid_alive(self.pid)
+
+    def port(self, index: int) -> "BrokerPort":
+        """The ``index``-th server port (call in, or before forking, the
+        process that will serve through it)."""
+        return BrokerPort(self, index)
+
+    def coordinator(self, index: int) -> "ProcessCoordinator":
+        """A coordinator facade over port ``index`` — what a server
+        process hands to its :class:`~repro.streaming.multi.StreamFleet`."""
+        return ProcessCoordinator(self.port(index))
+
+    def worker_pids(self) -> List[Optional[int]]:
+        return [process.pid for process in self._workers]
+
+    def kill(self) -> None:
+        """SIGKILL the broker process (fault-injection hook)."""
+        if self._process.exitcode is None:
+            os.kill(self._process.pid, 9)
+        self._process.join(5.0)
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop the broker and workers; unlink every published pack."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._process.exitcode is None:
+            try:
+                self._inbox.put(("shutdown",))
+            except (ValueError, OSError):
+                pass
+        self._process.join(timeout)
+        if self._process.exitcode is None:
+            self._process.terminate()
+            self._process.join(2.0)
+        for _ in self._workers:
+            try:
+                self._tasks.put_nowait(None)
+            except (ValueError, OSError):
+                break
+        deadline = time.monotonic() + timeout
+        for process in self._workers:
+            process.join(max(0.0, deadline - time.monotonic()))
+            if process.exitcode is None:
+                process.terminate()
+                process.join(2.0)
+        shm.sweep_orphans(self.namespace)
+
+
+# ----------------------------------------------------------------------
+# Server side
+# ----------------------------------------------------------------------
+class _PendingRequest:
+    __slots__ = ("client", "handle")
+
+    def __init__(self, client, handle):
+        self.client = client
+        self.handle = handle
+
+
+class BrokerPort:
+    """One server process's channel to the broker.
+
+    Thread-safe within its process: the engine thread pumps it on every
+    poll, stats calls pump it synchronously.  On broker death the pump
+    resolves every pending request to ``discarded`` and marks the port
+    degraded — clients then build locally.
+    """
+
+    def __init__(self, broker: BuildBroker, index: int):
+        self.index = int(index)
+        self.namespace = broker.namespace
+        self.max_concurrent_builds = broker.max_concurrent_builds
+        self.policy = broker.policy
+        self._inbox = broker._inbox
+        self._queue = broker._port_queues[self.index]
+        self._broker_pid = broker.pid
+        self._lock = threading.Lock()
+        self._pending: Dict[int, _PendingRequest] = {}
+        self._stats_replies: Dict[int, tuple] = {}
+        self._next_request = 0
+        self.degraded = False
+
+    def alive(self) -> bool:
+        return not self.degraded and _pid_alive(self._broker_pid)
+
+    def send(self, message) -> None:
+        self._inbox.put(message)
+
+    def allocate(self, client, handle) -> int:
+        with self._lock:
+            request_id = self._next_request
+            self._next_request += 1
+            self._pending[request_id] = _PendingRequest(client, handle)
+        return request_id
+
+    def forget(self, request_id: int) -> None:
+        with self._lock:
+            self._pending.pop(request_id, None)
+
+    def _degrade(self) -> None:
+        """Broker died: fail over.  Pending handles resolve to
+        ``discarded`` so each engine restores its request and re-submits
+        — the resubmission lands on the client's local fallback worker."""
+        with self._lock:
+            if self.degraded:
+                return
+            self.degraded = True
+            pending, self._pending = dict(self._pending), {}
+        for request in pending.values():
+            request.handle._resolve("discarded")
+            request.handle.done.set()
+
+    def pump(self) -> None:
+        """Drain broker replies; detect broker death."""
+        while True:
+            try:
+                message = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            except (EOFError, OSError):
+                self._degrade()
+                return
+            if message[0] == "stats":
+                with self._lock:
+                    self._stats_replies[message[1]] = message[2:]
+                continue
+            _, request_id, status, replacement, report, manifest, error \
+                = message
+            with self._lock:
+                request = self._pending.pop(request_id, None)
+            if request is None:
+                continue
+            request.client._resolve_remote(request.handle, status,
+                                           replacement, report, manifest,
+                                           error)
+        if not self.degraded and not _pid_alive(self._broker_pid):
+            self._degrade()
+
+    def stats(self, timeout: float = 2.0) -> Optional[tuple]:
+        """Synchronous admission counters from the broker (None when the
+        broker is unreachable)."""
+        if not self.alive():
+            return None
+        with self._lock:
+            request_id = self._next_request
+            self._next_request += 1
+        try:
+            self.send(("stats", self.index, request_id))
+        except (ValueError, OSError):
+            return None
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            self.pump()
+            with self._lock:
+                reply = self._stats_replies.pop(request_id, None)
+            if reply is not None:
+                return reply
+            if not self.alive():
+                return None
+            time.sleep(0.005)
+        return None
+
+
+class BrokerClient(_BuildConsumer):
+    """Per-stream consumer over a :class:`BrokerPort`; the engine drives
+    it exactly like a :class:`CoordinatedRefreshClient`.
+
+    Degraded mode (broker dead) delegates the whole consumer surface to
+    a private in-process :class:`RefreshWorker` over the same refresher:
+    refreshes continue locally, nothing deadlocks.
+    """
+
+    def __init__(self, coordinator: "ProcessCoordinator", refresher,
+                 on_refire: str = "queue", priority: int = 0):
+        if on_refire not in REFIRE_POLICIES:
+            raise ValueError(f"on_refire must be one of {REFIRE_POLICIES}, "
+                             f"got {on_refire!r}")
+        self.coordinator = coordinator
+        self.refresher = refresher
+        self.on_refire = on_refire
+        self.priority = int(priority)
+        self._handle: Optional[RefreshHandle] = None
+        self._fallback: Optional[RefreshWorker] = None
+
+    # -- degraded-mode plumbing ---------------------------------------
+    def _local(self) -> Optional[RefreshWorker]:
+        if self.coordinator.port.degraded:
+            if self._fallback is None:
+                self._fallback = RefreshWorker(self.refresher,
+                                               on_refire=self.on_refire)
+            return self._fallback
+        return None
+
+    @property
+    def accepting(self) -> bool:
+        if self.coordinator._closed:
+            return False
+        local = self._local()
+        if local is not None:
+            return local.accepting
+        return True
+
+    @property
+    def handle(self):
+        local = self._local()
+        if local is not None and local.attached_handle is not None:
+            return local.handle
+        return super().handle
+
+    @property
+    def attached_handle(self):
+        local = self._local()
+        if local is not None and local.attached_handle is not None:
+            return local.attached_handle
+        return self._handle
+
+    def _drain(self):
+        self.coordinator.port.pump()
+
+    def poll(self):
+        local = self._local()
+        if local is not None and local.attached_handle is not None:
+            return local.poll()
+        return super().poll()
+
+    def take(self):
+        local = self._local()
+        if local is not None and local.attached_handle is not None:
+            return local.take()
+        handle = self.poll()
+        if handle is not None:
+            self._handle = None
+        return handle
+
+    # -- submission ----------------------------------------------------
+    def submit(self, ensemble, history, trigger_index: int,
+               generation: Optional[int] = None,
+               trace=None) -> RefreshHandle:
+        if self.busy:
+            raise RuntimeError("a refresh build is already in flight; "
+                               "poll or discard it before submitting")
+        if not self.accepting:
+            raise AdmissionClosed("broker coordinator is shut down; no "
+                                  "further refresh builds are admitted")
+        if generation is None:
+            generation = self.refresher.n_refreshes
+        port = self.coordinator.port
+        port.pump()
+        local = self._local()
+        if local is not None:
+            return local.submit(ensemble, history, trigger_index,
+                                generation=generation, trace=trace)
+        handle = RefreshHandle(trigger_index, generation)
+        request_id = port.allocate(self, handle)
+        payload = ensemble
+        if hasattr(ensemble, "_fused_scorer"):
+            payload = copy.copy(ensemble)
+            payload._fused_scorer = None
+        kwargs = dict(generation=int(generation),
+                      trigger_index=int(trigger_index), mode="process")
+        key = getattr(ensemble, "_broker_key", None)
+        if key is None:
+            key = f"{port.index}:{id(ensemble)}"
+        if trace is not None:
+            # Queue wait happens in another process; close the admission
+            # span at hand-off so the trace never dangles.
+            trace[1].set_attribute("remote", True)
+            trace[1].end()
+        try:
+            port.send(("submit", port.index, request_id, key,
+                       self.priority, int(trigger_index), self.refresher,
+                       payload, history, kwargs))
+        except (ValueError, OSError):
+            port.forget(request_id)
+            port._degrade()
+            return self._local().submit(ensemble, history, trigger_index,
+                                        generation=generation)
+        self._handle = handle
+        return handle
+
+    def _resolve_remote(self, handle: RefreshHandle, status: str,
+                        replacement, report, manifest, error) -> None:
+        """Port-pump callback: a broker reply resolves our handle."""
+        if status == "ready":
+            if manifest is not None and replacement is not None:
+                try:
+                    shm.attach_pack_to_ensemble(replacement, manifest)
+                except Exception:
+                    # Segment superseded/unlinked before we attached:
+                    # re-pack locally rather than failing the refresh.
+                    prepare = getattr(replacement, "prepare_fused", None)
+                    if prepare is not None:
+                        prepare()
+            handle._finish("ready", replacement=replacement,
+                           report=report)
+        elif status == "failed":
+            handle._finish("failed", error=error if error is not None
+                           else RuntimeError("broker build failed"))
+        else:
+            handle._resolve("discarded")
+        handle.done.set()
+
+    def discard(self) -> Optional[RefreshHandle]:
+        local = self._local()
+        if local is not None and local.attached_handle is not None:
+            return local.discard()
+        handle = self._handle
+        self._handle = None
+        if handle is not None:
+            with self.coordinator.port._lock:
+                request_id = next(
+                    (rid for rid, req
+                     in self.coordinator.port._pending.items()
+                     if req.handle is handle), None)
+            if request_id is not None:
+                self.coordinator.port.forget(request_id)
+                try:
+                    self.coordinator.port.send(
+                        ("cancel", self.coordinator.port.index,
+                         request_id))
+                except (ValueError, OSError):
+                    pass
+            handle._resolve("discarded")
+            handle.done.set()
+        return handle
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        handle = self.attached_handle
+        if handle is None:
+            return True
+        while not handle.done.is_set():
+            self.poll()      # pump replies / detect broker death
+            remaining = None if deadline is None \
+                else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return False
+            if handle.done.wait(min(_POLL_SECONDS,
+                                    remaining or _POLL_SECONDS)):
+                break
+        return True
+
+
+class ProcessCoordinator:
+    """Coordinator facade a server process hands its ``StreamFleet``.
+
+    Duck-types the :class:`RefreshCoordinator` surface the fleet and
+    engine touch (``client`` / ``stats`` / ``state_dict`` /
+    ``shutdown`` / ``drain``) while the queue itself lives in the broker
+    process.  ``shutdown`` here is *port-local* — it stops this server's
+    admission and discards its pending requests; the broker (and other
+    servers) keep running until the broker's owner shuts it down.
+    """
+
+    def __init__(self, port: BrokerPort):
+        self.port = port
+        self._closed = False
+        self._clients: List[BrokerClient] = []
+
+    def client(self, refresher, on_refire: str = "queue",
+               priority: int = 0) -> BrokerClient:
+        client = BrokerClient(self, refresher, on_refire=on_refire,
+                              priority=priority)
+        self._clients.append(client)
+        return client
+
+    def stats(self) -> CoordinatorStats:
+        reply = self.port.stats()
+        if reply is None:
+            return CoordinatorStats(n_requests=0, n_deduped=0,
+                                    n_admitted=0, n_completed=0,
+                                    n_failed=0, n_cancelled=0,
+                                    n_queued=0, n_running=0,
+                                    max_concurrent=0)
+        counters, n_queued, n_running = reply
+        return CoordinatorStats(n_queued=n_queued, n_running=n_running,
+                                **counters)
+
+    def state_dict(self) -> Dict[str, object]:
+        """Same shape as ``RefreshCoordinator.state_dict`` so sharded
+        checkpoints resume on either runtime."""
+        stats = self.stats()
+        return {
+            "max_concurrent_builds": self.port.max_concurrent_builds,
+            "policy": self.port.policy,
+            "counters": {
+                "n_requests": stats.n_requests,
+                "n_deduped": stats.n_deduped,
+                "n_admitted": stats.n_admitted,
+                "n_completed": stats.n_completed,
+                "n_failed": stats.n_failed,
+                "n_cancelled": stats.n_cancelled,
+                "max_concurrent": stats.max_concurrent,
+            },
+        }
+
+    def shutdown(self) -> None:
+        self._closed = True
+        for client in self._clients:
+            if client.attached_handle is not None:
+                client.discard()
+            if client._fallback is not None:
+                client._fallback.accepting = False
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for client in self._clients:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            if not client.join(remaining):
+                return False
+        return True

@@ -1,0 +1,469 @@
+"""Sharding a :class:`~repro.streaming.multi.StreamFleet` over processes.
+
+One serving process time-slices every stream's scoring through a single
+GIL.  :class:`ShardedFleet` forks N server processes, each owning a
+private :class:`StreamFleet` built by a caller-supplied factory, and
+routes streams to shards by a stable hash of the stream name — a
+stream's sliding window, calibrator and drift state live in exactly one
+process for its whole life, so no cross-process state ever needs
+synchronising.
+
+The parent speaks to each shard over a ``multiprocessing.Pipe`` with a
+tiny request/response protocol.  ``update_many`` scatters the per-shard
+sub-batches first and gathers replies second, so shards score their
+slices of a scrape tick concurrently.
+
+Refresh builds plug into the same cross-process admission control the
+single-process engine uses: pass a :class:`~repro.runtime.broker
+.BuildBroker` (or let the fleet create one) and each shard's factory
+receives a :class:`~repro.runtime.broker.ProcessCoordinator` bound to
+its own broker port — K shards co-drifting on a shared ensemble cost
+one build, published once to shared memory and attached zero-copy by
+every subscribing shard.
+
+Observability stays whole-fleet: each shard runs its own fresh
+:class:`~repro.obs.MetricsRegistry` (set as the process default at
+fork), and :meth:`ShardedFleet.telemetry` merges the per-process
+snapshots with :func:`repro.obs.merge_snapshots` into the one view the
+single-process fleet would have produced.
+
+Everything here requires the POSIX ``fork`` start method: factories and
+their closed-over ensembles reach the children by inheritance, never by
+pickle.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import threading
+import time
+import zlib
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..obs import MetricsRegistry, merge_snapshots, set_default_registry
+from . import shm
+
+SHARDED_MANIFEST_NAME = "sharded.json"
+SHARDED_FORMAT_VERSION = 1
+
+
+class ShardCrashed(RuntimeError):
+    """A fleet server process died while the parent awaited a reply."""
+
+
+def shard_for(name: str, n_shards: int) -> int:
+    """The shard index owning ``name`` — crc32 keeps it stable across
+    runs and processes (``hash()`` is salted per interpreter)."""
+    return zlib.crc32(name.encode("utf-8")) % n_shards
+
+
+def _server_main(index: int, conn, fleet_factory, port,
+                 namespace: str) -> None:
+    """Command loop of one fleet server process."""
+    shm.set_segment_namespace(namespace)
+    # A fresh registry per process: the fork copied the parent's default
+    # registry, and double-counting its instruments across shards would
+    # corrupt the merged telemetry view.
+    set_default_registry(MetricsRegistry())
+    coordinator = None
+    try:
+        if port is not None:
+            from .broker import ProcessCoordinator
+            coordinator = ProcessCoordinator(port)
+        fleet = fleet_factory(index, coordinator)
+    except Exception as exc:
+        try:
+            conn.send(("fatal", exc))
+        except Exception:
+            conn.send(("fatal", RuntimeError(f"{type(exc).__name__}: {exc}")))
+        return
+    conn.send(("ready", os.getpid()))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op, args = message[0], message[1:]
+        if op == "shutdown":
+            try:
+                fleet.shutdown()
+                if coordinator is not None:
+                    coordinator.shutdown()
+            finally:
+                try:
+                    conn.send(("ok", None))
+                except Exception:
+                    pass
+            break
+        try:
+            if op == "update":
+                result = fleet.update(args[0], args[1])
+            elif op == "update_batch":
+                result = fleet.update_batch(args[0], args[1])
+            elif op == "update_many":
+                result = fleet.update_many(args[0])
+            elif op == "warm_up":
+                fleet.warm_up(args[0], args[1])
+                result = None
+            elif op == "names":
+                result = fleet.names
+            elif op == "totals":
+                result = {
+                    "n_streams": len(fleet),
+                    "n_observations": fleet.total_observations,
+                    "n_alerts": fleet.total_alerts,
+                    "n_refreshes": sum(
+                        d.n_refreshes for d in fleet._detectors.values()),
+                }
+            elif op == "stats":
+                result = fleet.stats(args[0])
+            elif op == "telemetry":
+                result = fleet.telemetry()
+            elif op == "state":
+                result = fleet.state_dict()
+            elif op == "checkpoint":
+                from ..core.persistence import save_fleet
+                save_fleet(fleet, args[0])
+                result = None
+            else:
+                raise ValueError(f"unknown fleet op {op!r}")
+            conn.send(("ok", result))
+        except Exception as exc:
+            try:
+                conn.send(("error", exc))
+            except Exception:
+                conn.send(("error",
+                           RuntimeError(f"{type(exc).__name__}: {exc}")))
+
+
+class _Shard:
+    __slots__ = ("index", "process", "conn", "pid")
+
+    def __init__(self, index, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.pid = process.pid
+
+
+class ShardedFleet:
+    """N forked server processes, each serving one slice of the streams.
+
+    Parameters
+    ----------
+    fleet_factory: called *inside* each server process as
+                   ``fleet_factory(shard_index, coordinator)`` and must
+                   return the shard's :class:`StreamFleet`.  The
+                   coordinator is a
+                   :class:`~repro.runtime.broker.ProcessCoordinator`
+                   bound to the shard's broker port (``None`` without a
+                   broker); factories typically hand it to
+                   :func:`~repro.streaming.multi.shared_fleet`.
+    n_shards:      server processes.  Streams route by
+                   ``crc32(name) % n_shards`` — resharding a checkpoint
+                   to a different count is not supported (the manifest
+                   records the count and :meth:`restore` re-uses it).
+    broker:        an existing :class:`~repro.runtime.broker.BuildBroker`
+                   with at least ``n_shards`` ports; not owned (the
+                   caller shuts it down).
+    n_build_workers: convenience — when set (and ``broker`` is None) the
+                   fleet creates and owns a broker with this many build
+                   workers, shut down with the fleet.
+    namespace:     shared-memory namespace for published packs.
+    timeout:       per-request reply timeout in seconds; a shard that
+                   neither replies nor dies within it raises
+                   :class:`ShardCrashed`.
+    """
+
+    def __init__(self, fleet_factory: Callable[[int, object], object],
+                 n_shards: int = 2, broker=None,
+                 n_build_workers: Optional[int] = None,
+                 max_concurrent_builds: int = 1, policy: str = "fifo",
+                 namespace: Optional[str] = None, timeout: float = 60.0):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError("ShardedFleet requires the 'fork' start "
+                               "method (POSIX)")
+        self.n_shards = int(n_shards)
+        self.namespace = shm.segment_namespace() if namespace is None \
+            else namespace
+        self.timeout = float(timeout)
+        self._ctx = mp.get_context("fork")
+        self._lock = threading.Lock()
+        self._closed = False
+        self._owns_broker = False
+        self.broker = broker
+        if broker is None and n_build_workers is not None:
+            from .broker import BuildBroker
+            self.broker = BuildBroker(
+                n_ports=self.n_shards, n_workers=n_build_workers,
+                max_concurrent_builds=max_concurrent_builds,
+                policy=policy, namespace=self.namespace)
+            self._owns_broker = True
+        self._shards: List[_Shard] = []
+        try:
+            for index in range(self.n_shards):
+                port = self.broker.port(index) if self.broker is not None \
+                    else None
+                parent_conn, child_conn = self._ctx.Pipe()
+                process = self._ctx.Process(
+                    target=_server_main,
+                    args=(index, child_conn, fleet_factory, port,
+                          self.namespace),
+                    name=f"fleet-shard-{index}", daemon=True)
+                process.start()
+                child_conn.close()
+                shard = _Shard(index, process, parent_conn)
+                kind, payload = self._recv(shard)
+                if kind == "fatal":
+                    raise payload
+                self._shards.append(shard)
+        except Exception:
+            self._closed = True
+            for shard in self._shards:
+                shard.process.terminate()
+            if self._owns_broker:
+                self.broker.shutdown()
+            raise
+
+    # ------------------------------------------------------------------
+    # Pipe plumbing
+    # ------------------------------------------------------------------
+    def _recv(self, shard: _Shard):
+        deadline = time.monotonic() + self.timeout
+        while not shard.conn.poll(0.05):
+            if shard.process.exitcode is not None:
+                raise ShardCrashed(
+                    f"fleet shard {shard.index} (pid {shard.pid}) died "
+                    f"with exit code {shard.process.exitcode}")
+            if time.monotonic() > deadline:
+                raise ShardCrashed(
+                    f"fleet shard {shard.index} (pid {shard.pid}) did "
+                    f"not reply within {self.timeout:.0f}s")
+        try:
+            return shard.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ShardCrashed(
+                f"fleet shard {shard.index} (pid {shard.pid}) closed "
+                f"its pipe mid-reply") from exc
+
+    def _request(self, index: int, op: str, *args):
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("sharded fleet is shut down")
+            shard = self._shards[index]
+            shard.conn.send((op,) + args)
+            kind, payload = self._recv(shard)
+        if kind == "error":
+            raise payload
+        return payload
+
+    def _scatter(self, ops: Dict[int, tuple]) -> Dict[int, object]:
+        """Send every shard its request, then gather every reply —
+        shards execute their slices concurrently."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("sharded fleet is shut down")
+            indices = sorted(ops)
+            for index in indices:
+                self._shards[index].conn.send(ops[index])
+            replies = {}
+            errors = []
+            for index in indices:
+                kind, payload = self._recv(self._shards[index])
+                if kind == "error":
+                    errors.append(payload)
+                else:
+                    replies[index] = payload
+        if errors:
+            raise errors[0]
+        return replies
+
+    # ------------------------------------------------------------------
+    # The StreamFleet-shaped surface
+    # ------------------------------------------------------------------
+    def shard_of(self, name: str) -> int:
+        return shard_for(name, self.n_shards)
+
+    def update(self, name: str, observation):
+        return self._request(self.shard_of(name), "update", name,
+                             observation)
+
+    def update_batch(self, name: str, observations):
+        return self._request(self.shard_of(name), "update_batch", name,
+                             observations)
+
+    def update_many(self, batches: Mapping[str, object]
+                    ) -> Dict[str, list]:
+        per_shard: Dict[int, dict] = {}
+        for name, observations in batches.items():
+            per_shard.setdefault(self.shard_of(name), {})[name] = \
+                observations
+        replies = self._scatter({index: ("update_many", sub)
+                                 for index, sub in per_shard.items()})
+        merged: Dict[str, list] = {}
+        for reply in replies.values():
+            merged.update(reply)
+        return merged
+
+    def warm_up(self, name: str, series) -> None:
+        self._request(self.shard_of(name), "warm_up", name, series)
+
+    @property
+    def names(self) -> List[str]:
+        replies = self._scatter({index: ("names",)
+                                 for index in range(self.n_shards)})
+        return sorted(name for names in replies.values() for name in names)
+
+    def __len__(self) -> int:
+        return sum(t["n_streams"] for t in self._totals().values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._request(self.shard_of(name), "names")
+
+    def _totals(self) -> Dict[int, dict]:
+        return self._scatter({index: ("totals",)
+                              for index in range(self.n_shards)})
+
+    @property
+    def total_observations(self) -> int:
+        return sum(t["n_observations"] for t in self._totals().values())
+
+    @property
+    def total_alerts(self) -> int:
+        return sum(t["n_alerts"] for t in self._totals().values())
+
+    def stats(self, names=None) -> list:
+        replies = self._scatter({index: ("stats", names)
+                                 for index in range(self.n_shards)})
+        flat = [stat for stats in replies.values() for stat in stats]
+        return sorted(flat, key=lambda stat: stat.name)
+
+    def telemetry(self) -> Dict[str, object]:
+        """The whole-fleet view a single-process fleet would produce.
+
+        Per-shard registries merge via
+        :func:`repro.obs.merge_snapshots`; stream rows concatenate; the
+        coordinator entry appears once (every shard's port reports the
+        same broker-global admission counters, so duplicates are
+        dropped).  A ``shards`` section records the per-process split.
+        """
+        replies = self._scatter({index: ("telemetry",)
+                                 for index in range(self.n_shards)})
+        views = [replies[index] for index in sorted(replies)]
+        totals: Dict[str, int] = {}
+        for view in views:
+            for key, value in view["totals"].items():
+                totals[key] = totals.get(key, 0) + value
+        streams = sorted(
+            (row for view in views for row in view["streams"]),
+            key=lambda row: row["name"])
+        coordinator = next((view["coordinator"] for view in views
+                            if view["coordinator"] is not None), None)
+        return {
+            "totals": totals,
+            "streams": streams,
+            "coordinator": coordinator,
+            "metrics": merge_snapshots([view["metrics"]
+                                        for view in views]),
+            "shards": [{"index": shard.index, "pid": shard.pid,
+                        "totals": replies[shard.index]["totals"]}
+                       for shard in self._shards],
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, directory: str) -> str:
+        """Save the whole fleet: one ``shard_<i>/`` fleet checkpoint per
+        server (written *by* that server — ensembles never cross the
+        pipe) plus a parent manifest recording the shard count."""
+        os.makedirs(directory, exist_ok=True)
+        self._scatter({
+            index: ("checkpoint",
+                    os.path.join(directory, f"shard_{index}"))
+            for index in range(self.n_shards)})
+        manifest = {"format_version": SHARDED_FORMAT_VERSION,
+                    "n_shards": self.n_shards,
+                    "shards": [f"shard_{i}" for i in range(self.n_shards)]}
+        path = os.path.join(directory, SHARDED_MANIFEST_NAME)
+        # Each shard_<i>/ is already an atomic checkpoint (save_fleet);
+        # the manifest is written last, tmp + fsync + rename, so a torn
+        # save is a directory without a manifest — restore() refuses it.
+        tmp = path + ".saving"
+        with open(tmp, "w") as fh:
+            json.dump(manifest, fh, indent=2)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def restore(cls, directory: str,
+                refresher_factory: Optional[Callable[[], object]] = None,
+                detector_factory=None, **kwargs) -> "ShardedFleet":
+        """Rebuild a sharded fleet from :meth:`checkpoint`.
+
+        Each server process loads its own ``shard_<i>/`` checkpoint via
+        :func:`repro.core.persistence.load_fleet`; the factories are
+        fork-inherited, so they may close over anything.  ``kwargs``
+        pass through to the constructor (``broker``,
+        ``n_build_workers``, ...); the shard count always comes from the
+        manifest.
+        """
+        with open(os.path.join(directory, SHARDED_MANIFEST_NAME)) as fh:
+            manifest = json.load(fh)
+        if manifest["format_version"] > SHARDED_FORMAT_VERSION:
+            raise ValueError(
+                f"sharded checkpoint format "
+                f"{manifest['format_version']} is newer than this "
+                f"code ({SHARDED_FORMAT_VERSION})")
+
+        def factory(index, coordinator):
+            from ..core.persistence import load_fleet
+            return load_fleet(
+                os.path.join(directory, f"shard_{index}"),
+                refresher_factory=refresher_factory,
+                detector_factory=detector_factory,
+                coordinator=coordinator)
+
+        return cls(factory, n_shards=manifest["n_shards"], **kwargs)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def worker_pids(self) -> List[int]:
+        """Pids of the server processes (not the broker's)."""
+        return [shard.pid for shard in self._shards]
+
+    def alive(self) -> bool:
+        return all(shard.process.exitcode is None
+                   for shard in self._shards)
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop every shard (graceful, then terminate) and the owned
+        broker, if any.  Idempotent; leaked shm is swept last."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for shard in self._shards:
+                if shard.process.exitcode is not None:
+                    continue
+                try:
+                    shard.conn.send(("shutdown",))
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.monotonic() + timeout
+        for shard in self._shards:
+            shard.process.join(max(0.0, deadline - time.monotonic()))
+            if shard.process.exitcode is None:
+                shard.process.terminate()
+                shard.process.join(1.0)
+            shard.conn.close()
+        if self._owns_broker and self.broker is not None:
+            self.broker.shutdown(timeout=timeout)
+        shm.sweep_orphans(self.namespace)

@@ -102,7 +102,8 @@ from .coordinator import (AdmissionClosed, CoordinatedRefreshClient,
 from .drift import (DDMDrift, DriftEvent, PageHinkley,
                     drift_detector_from_state)
 from .engine import StreamingDetector, StreamUpdate
-from .multi import StreamFleet, StreamStats, shared_fleet
+from .multi import (StreamFleet, StreamStats, shared_fleet,
+                    sharded_fleet)
 from .refresh import EnsembleRefresher, RefreshReport
 from .worker import RefreshHandle, RefreshWorker
 
@@ -115,5 +116,5 @@ __all__ = [
     "SlidingWindow", "StreamFleet", "StreamStats", "StreamUpdate",
     "StreamingDetector", "calibrator_from_state",
     "drift_detector_from_state", "history_buffer_from_state",
-    "robust_mad_threshold", "shared_fleet",
+    "robust_mad_threshold", "shared_fleet", "sharded_fleet",
 ]

@@ -278,7 +278,7 @@ class RefreshCoordinator:
     """
 
     def __init__(self, max_concurrent_builds: int = 1,
-                 policy: str = "fifo"):
+                 policy: str = "fifo", build_runner=None):
         if max_concurrent_builds < 1:
             raise ValueError(f"max_concurrent_builds must be >= 1, "
                              f"got {max_concurrent_builds}")
@@ -287,6 +287,15 @@ class RefreshCoordinator:
                              f"got {policy!r}")
         self.max_concurrent_builds = int(max_concurrent_builds)
         self.policy = policy
+        # Pluggable build execution: None trains on this build thread;
+        # a runner ``(refresher, ensemble, history, index, kwargs,
+        # cancel) -> (replacement, report)`` may ship the job elsewhere
+        # — repro.runtime.ProcessBuildPool.build_runner moves it to a
+        # worker process so training never contends for this process's
+        # GIL.  Admission, dedup and fan-out are unaffected.  Runners
+        # are runtime wiring, not state: checkpoints neither persist nor
+        # restore them (re-attach one after from_state).
+        self.build_runner = build_runner
         self.on_build_start: Optional[Callable] = None
         self.on_build_done: Optional[Callable] = None
         self._lock = threading.Lock()
@@ -598,6 +607,13 @@ class RefreshCoordinator:
     def _call_build(self, build: _CoordinatedBuild):
         """Invoke the leader's ``build``, forwarding the cancel flag when
         the refresher supports it (duck-typed stand-ins may not)."""
+        if self.build_runner is not None:
+            kwargs = dict(generation=build.generation,
+                          trigger_index=build.trigger_index,
+                          mode="process")
+            return self.build_runner(build.refresher, build.ensemble,
+                                     build.history, build.trigger_index,
+                                     kwargs, build.cancel)
         kwargs = dict(generation=build.generation,
                       trigger_index=build.trigger_index, mode="async")
         try:

@@ -338,3 +338,47 @@ def shared_fleet(ensemble: CAEEnsemble,
             coordinator=coordinator,
             refresh_priority=priority_for(name) if priority_for else 0)
     return StreamFleet(factory, coordinator=coordinator)
+
+
+def sharded_fleet(ensemble: CAEEnsemble, n_shards: int = 2,
+                  n_build_workers: Optional[int] = None,
+                  calibrator_factory: Optional[Callable[[], object]] = None,
+                  drift_factory: Optional[Callable[[], object]] = None,
+                  refresher_factory: Optional[Callable[[], object]] = None,
+                  history: int = 2048, refresh_mode: str = "inline",
+                  refresh_refire: str = "queue",
+                  max_concurrent_builds: int = 1, policy: str = "fifo",
+                  priority_for: Optional[Callable[[str], int]] = None,
+                  namespace: Optional[str] = None, **fleet_kwargs):
+    """:func:`shared_fleet`, spread over N server processes.
+
+    Forks ``n_shards`` servers (POSIX only), each running a private
+    :func:`shared_fleet` over the fork-inherited ``ensemble``; streams
+    route to shards by a stable hash of the name.  Pass
+    ``n_build_workers`` (with ``refresh_mode="async"``) and the sharded
+    fleet also owns a :class:`~repro.runtime.broker.BuildBroker` — every
+    shard submits drift-triggered builds to the one cross-process
+    admission queue, and a single build's shared-memory pack fans out to
+    all co-drifting shards.  Returns a
+    :class:`~repro.runtime.fleet.ShardedFleet`; extra ``fleet_kwargs``
+    pass through to it.
+    """
+    from ..runtime.fleet import ShardedFleet
+    if n_build_workers is not None and refresh_mode != "async":
+        # Same misconfiguration guard as shared_fleet, but raised here in
+        # the parent instead of as a fatal inside every forked shard.
+        raise ValueError("a build broker serves background builds; pass "
+                         "refresh_mode='async' alongside n_build_workers")
+
+    def factory(index: int, coordinator):
+        return shared_fleet(
+            ensemble, calibrator_factory=calibrator_factory,
+            drift_factory=drift_factory,
+            refresher_factory=refresher_factory, history=history,
+            refresh_mode=refresh_mode, refresh_refire=refresh_refire,
+            coordinator=coordinator, priority_for=priority_for)
+
+    return ShardedFleet(factory, n_shards=n_shards,
+                        n_build_workers=n_build_workers,
+                        max_concurrent_builds=max_concurrent_builds,
+                        policy=policy, namespace=namespace, **fleet_kwargs)

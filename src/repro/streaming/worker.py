@@ -144,6 +144,16 @@ class _BuildConsumer:
         """Whether a build is in flight or awaiting its boundary swap."""
         return self.handle is not None
 
+    def _drain(self) -> None:
+        """Transport hook run before the handle is inspected.
+
+        Thread-backed consumers resolve handles from their own build
+        thread, so the default is a no-op.  Process-backed consumers
+        (:class:`~repro.runtime.broker.BrokerClient`) override it to
+        pull replies off their reply queue — the only place a remote
+        build's terminal state can land in this process.
+        """
+
     def poll(self) -> Optional[RefreshHandle]:
         """The attached handle once its build has resolved, else None.
 
@@ -152,6 +162,7 @@ class _BuildConsumer:
         else* (discarded by a coordinator shutdown) is still returned,
         so the engine can observe the abandonment at its next boundary.
         """
+        self._drain()
         handle = self._handle
         if handle is not None and handle.done.is_set():
             return handle

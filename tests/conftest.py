@@ -1,9 +1,45 @@
 """Shared fixtures: seeded RNGs, tiny datasets and micro training budgets."""
 
+import os
+import random
+
 import numpy as np
 import pytest
 
 from repro.datasets.registry import TimeSeriesDataset
+
+
+def pytest_collection_modifyitems(config, items):
+    """Optional seeded shuffle: ``REPRO_TEST_SHUFFLE=<seed>`` randomises
+    test order (stdlib only, so it runs on a bare CI runner).  The fast
+    lane sets it to flush hidden ordering dependencies — any state one
+    test leaks into another reproduces under the same seed."""
+    seed = os.environ.get("REPRO_TEST_SHUFFLE")
+    if seed:
+        random.Random(int(seed)).shuffle(items)
+
+
+@pytest.fixture(autouse=True)
+def _global_state_hygiene():
+    """Restore the process-global knobs every test could leak through:
+    the fused scorer's autotuned chunk size, the observability default
+    registry/tracer, and the shared-memory segment namespace.  Each is
+    snapshotted before the test and restored after, so a test that pins
+    or swaps them cannot skew a later test's behaviour (or timings)."""
+    from repro.core.fused import FusedEnsembleScorer
+    from repro.obs import registry as obs_registry
+    from repro.obs import tracing as obs_tracing
+    from repro.runtime import shm
+    tuned = FusedEnsembleScorer._tuned_chunk_rows
+    registry = obs_registry.default_registry()
+    tracer = obs_tracing.default_tracer()
+    namespace = shm.segment_namespace()
+    yield
+    with FusedEnsembleScorer._chunk_tune_lock:
+        FusedEnsembleScorer._tuned_chunk_rows = tuned
+    obs_registry.set_default_registry(registry)
+    obs_tracing.set_default_tracer(tracer)
+    shm.set_segment_namespace(namespace)
 
 
 @pytest.fixture
@@ -78,3 +114,53 @@ def stream_ensemble():
     """Session-shared fitted ensemble for streaming tests (scored
     read-only — never mutate it; refreshes build new instances)."""
     return make_stream_ensemble()
+
+
+def fabricate_ensemble(n_models=2, n_layers=1, seed=0, dims=2):
+    """A structurally complete ensemble without the training bill:
+    packing/publishing only reads weights, so random ones exercise the
+    exact same code paths bit-for-bit."""
+    from repro.core import CAEConfig, CAEEnsemble, EnsembleConfig
+    from repro.core.cae import CAE
+    from repro.datasets.preprocess import StandardScaler
+    config = CAEConfig(input_dim=dims, embed_dim=8, window=8,
+                       n_layers=n_layers)
+    ensemble = CAEEnsemble(config,
+                           EnsembleConfig(n_models=n_models, seed=seed))
+    root = np.random.default_rng(seed)
+    ensemble.models = [CAE(config, np.random.default_rng(
+        root.integers(2 ** 32))) for _ in range(n_models)]
+    ensemble.scaler = StandardScaler().fit(
+        np.asarray(sine_regime(64, seed=seed)[:, :dims]))
+    return ensemble
+
+
+@pytest.fixture
+def shm_namespace():
+    """A unique shared-memory namespace per test, so segment-leak
+    assertions are exact even when tests run concurrently."""
+    import secrets
+    from repro.runtime import shm
+    namespace = f"t{os.getpid()}x{secrets.token_hex(3)}"
+    previous = shm.set_segment_namespace(namespace)
+    yield namespace
+    shm.sweep_orphans(namespace)
+    shm.set_segment_namespace(previous)
+
+
+@pytest.fixture
+def mp_handshake():
+    """Fresh fork-context gate + started-queue per test, fork-inherited
+    into build workers as their ``worker_context`` (mp primitives cannot
+    ride inside a pickled job)."""
+    import multiprocessing as mp
+    ctx = mp.get_context("fork")
+    # Everything exists twice: a SIGKILLed worker can die inside an mp
+    # primitive's critical section (the Event's condition lock during
+    # ``gate.wait()``, the Queue feeder's write lock right after the
+    # handshake ``put`` the test killed it in response to), poisoning
+    # that primitive for every later user.  Fault-injection tests route
+    # post-kill survivors through the untouched second set.
+    return {"gate": ctx.Event(), "gate2": ctx.Event(),
+            "started": ctx.Queue(), "started2": ctx.Queue(),
+            "replacement": fabricate_ensemble(seed=99)}

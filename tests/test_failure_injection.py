@@ -114,3 +114,165 @@ class TestHarnessHelpers:
 
     def test_paired_row_without_reference(self):
         assert paired_row((0.5,), None) == ["0.5000"]
+
+
+# ----------------------------------------------------------------------
+# Process-level faults: the runtime must degrade, never poison serving
+# ----------------------------------------------------------------------
+class TestProcessFaults:
+    """SIGKILLed workers, orphaned segments and a dead broker.
+
+    Uses the same gated mp handshake as ``test_runtime_processes`` —
+    every fault is injected at a point the test *chose* (the build is
+    provably in flight because the worker said so), never timed.
+    """
+
+    def test_sigkill_worker_fails_handle_without_poisoning(
+            self, shm_namespace, mp_handshake):
+        """Kill the build worker mid-train: the handle fails with
+        WorkerCrashed, the pool respawns, and the *next* build on the
+        same client succeeds on the fresh worker."""
+        import os
+        from repro.runtime import ProcessBuildPool, WorkerCrashed
+        from repro.streaming import RefreshCoordinator
+        from tests.conftest import fabricate_ensemble, sine_regime
+        from tests.test_runtime_processes import (GATE_TIMEOUT,
+                                                  ProcessGatedRefresher,
+                                                  wait_started)
+
+        pool = ProcessBuildPool(n_workers=1, worker_context=mp_handshake)
+        coordinator = RefreshCoordinator(max_concurrent_builds=1,
+                                         build_runner=pool.build_runner)
+        try:
+            client = coordinator.client(ProcessGatedRefresher())
+            ensemble = fabricate_ensemble()
+            history = sine_regime(32, seed=1)
+            handle = client.submit(ensemble, history, 30)
+            victim_pid, _ = wait_started(mp_handshake)
+            os.kill(victim_pid, 9)
+            assert client.join(GATE_TIMEOUT)
+            assert client.take() is handle
+            assert handle.status == "failed"
+            assert isinstance(handle.error, WorkerCrashed)
+
+            # The serving side is unharmed: the coordinator accepts a new
+            # request and the respawned worker completes it.  (The second
+            # gate, never touched by the victim, releases it — the victim
+            # may have died holding the first gate's condition lock.)
+            mp_handshake["gate2"].set()
+            survivor = coordinator.client(ProcessGatedRefresher(
+                tag="retry", gate_key="gate2", started_key="started2"))
+            retry = survivor.submit(ensemble, history, 60)
+            fresh_pid, _ = wait_started(mp_handshake, key="started2")
+            assert fresh_pid != victim_pid
+            assert survivor.join(GATE_TIMEOUT)
+            assert survivor.take() is retry and retry.ready
+        finally:
+            coordinator.shutdown()
+            pool.shutdown()
+        from repro.runtime import list_segments
+        assert list_segments(shm_namespace) == []
+
+    def test_orphaned_segments_unlinked_on_next_attach(self,
+                                                       shm_namespace):
+        """A segment whose owner pid is dead is swept by the next
+        publish/attach instead of accumulating in /dev/shm."""
+        import multiprocessing as mp
+        from multiprocessing import shared_memory
+        from repro.runtime import (attach_pack, list_segments,
+                                   publish_pack, unlink_pack)
+        from repro.runtime import shm as shm_mod
+        from tests.conftest import fabricate_ensemble
+
+        child = mp.get_context("fork").Process(target=int)
+        child.start()
+        child.join()
+        dead_pid = child.pid
+
+        orphan = shared_memory.SharedMemory(
+            create=True, size=64,
+            name=f"repro-{shm_namespace}-{dead_pid}-deadbeef")
+        orphan.close()
+        shm_mod._unregister(orphan.name)
+        assert list_segments(shm_namespace) == [orphan.name]
+
+        manifest = publish_pack(fabricate_ensemble(), dtype=np.float64)
+        attached = attach_pack(manifest)   # sweeps before mapping
+        attached.close()
+        survivors = list_segments(shm_namespace)
+        assert orphan.name not in survivors
+        assert survivors == [manifest["segment"]]
+        assert unlink_pack(manifest)
+
+    def test_attach_after_unlink_raises_orphaned(self, shm_namespace):
+        from repro.runtime import (OrphanedSegmentError, attach_pack,
+                                   publish_pack, unlink_pack)
+        from tests.conftest import fabricate_ensemble
+        manifest = publish_pack(fabricate_ensemble(), dtype=np.float64)
+        assert unlink_pack(manifest)
+        with pytest.raises(OrphanedSegmentError):
+            attach_pack(manifest)
+
+    def test_broker_death_degrades_to_inline_refresh(self, shm_namespace,
+                                                     mp_handshake):
+        """SIGKILL the broker with a build in flight: the pending handle
+        resolves discarded (the engine re-queues it), the port flips to
+        degraded, and new submits build locally in-process."""
+        from repro.runtime import BuildBroker
+        from repro.streaming.refresh import RefreshReport
+        from tests.conftest import fabricate_ensemble, sine_regime
+        from tests.test_runtime_processes import (GATE_TIMEOUT,
+                                                  ProcessGatedRefresher,
+                                                  wait_started)
+
+        class LocalInstantRefresher:
+            """Builds immediately, in this process — the degraded path."""
+
+            def __init__(self, replacement):
+                self.replacement = replacement
+                self.n_refreshes = 0
+
+            def ready(self, history_length, index):
+                return True
+
+            def build(self, ensemble, history, index, generation=None,
+                      trigger_index=None, mode="inline", cancel=None):
+                report = RefreshReport(
+                    index=int(index), history_length=int(len(history)),
+                    train_seconds=0.0, warm_start_fraction=0.0,
+                    copied_fraction=0.0, trigger_index=trigger_index,
+                    mode=mode)
+                return self.replacement, report
+
+            def commit(self, report):
+                self.n_refreshes += 1
+
+        broker = BuildBroker(n_ports=1, n_workers=1,
+                             worker_context=mp_handshake)
+        try:
+            coordinator = broker.coordinator(0)
+            ensemble = fabricate_ensemble()
+            history = sine_regime(32, seed=1)
+
+            remote = coordinator.client(ProcessGatedRefresher())
+            in_flight = remote.submit(ensemble, history, 30)
+            wait_started(mp_handshake)     # provably mid-build
+            broker.kill()
+
+            # The port notices on its next pump and discards the pending
+            # handle — exactly what a coordinator shutdown does, which
+            # the engine answers by restoring the refresh request.
+            assert remote.join(GATE_TIMEOUT)
+            assert in_flight.status == "discarded"
+            assert coordinator.port.degraded
+
+            local = coordinator.client(
+                LocalInstantRefresher(fabricate_ensemble(seed=5)))
+            rebuilt = local.submit(ensemble, history, 60)
+            assert local.join(GATE_TIMEOUT)
+            assert local.take() is rebuilt and rebuilt.ready
+            assert rebuilt.report.trigger_index == 60
+        finally:
+            broker.shutdown(timeout=1.0)
+        from repro.runtime import list_segments
+        assert list_segments(shm_namespace) == []

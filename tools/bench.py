@@ -13,7 +13,11 @@ diffable across commits:
 * ``BENCH_training.json`` (``--training``) — full ``CAEEnsemble.fit``
   wall-clock on a Table 7-style config, fused batched trainer vs the
   per-module reference loop, plus the loss-trajectory deviation between
-  the two (the equivalence contract of ``docs/performance.md``).
+  the two (the equivalence contract of ``docs/performance.md``);
+* ``BENCH_fleet.json`` (``--fleet``) — single-process ``StreamFleet``
+  vs the multi-process ``ShardedFleet`` on the same replay workload,
+  across shard counts (the process-model scaling table of
+  ``docs/performance.md``).
 
 The ensemble's basic models are random-initialised rather than trained:
 inference cost is independent of the weight values, and fabricating the
@@ -206,6 +210,71 @@ def bench_training(embed_dim: int, n_layers: int, rounds: int,
     }
 
 
+def bench_fleet(n_streams: int, segment: int, micro_batch: int,
+                rounds: int, shard_counts) -> dict:
+    """Single-process ``StreamFleet`` vs the multi-process
+    :class:`~repro.runtime.fleet.ShardedFleet` on one replay workload.
+
+    Every configuration replays the same ``n_streams`` x ``segment``
+    stream matrix through ``update_many``.  The model is kept small
+    (8 basic models) on purpose: fleet scaling is about process/IPC
+    overhead and core utilisation, not kernel speed, and a small model
+    makes the per-observation IPC cost *visible* instead of hiding it
+    under compute.  Numbers from a single-core runner therefore show
+    sharding as pure overhead — which is the honest baseline; the
+    speedup column only turns favourable with cores to spare.
+    """
+    from repro.streaming import shared_fleet, sharded_fleet
+
+    series = make_series(2048)
+    ensemble = fabricate_ensemble(8, 16, 2, series)
+    streams = {f"stream-{i:02d}": make_series(2048 + segment)[-segment:]
+               for i in range(n_streams)}
+    warm = series[-(WINDOW - 1):]
+
+    def replay(fleet) -> float:
+        for name in streams:
+            fleet.warm_up(name, warm)
+        tick = time.perf_counter()
+        for start in range(0, segment, micro_batch):
+            fleet.update_many({name: chunk[start:start + micro_batch]
+                               for name, chunk in streams.items()})
+        return time.perf_counter() - tick
+
+    total = n_streams * segment
+    results = {"n_streams": n_streams, "segment": segment,
+               "micro_batch": micro_batch,
+               "total_observations": total, "n_models": 8,
+               "configs": {}}
+
+    seconds = float("inf")
+    for _ in range(rounds):
+        seconds = min(seconds, replay(shared_fleet(ensemble,
+                                                   history=WINDOW)))
+    results["configs"]["inline"] = {
+        "seconds": seconds,
+        "observations_per_second": total / seconds,
+    }
+
+    for n_shards in shard_counts:
+        seconds = float("inf")
+        for _ in range(rounds):
+            fleet = sharded_fleet(ensemble, n_shards=n_shards,
+                                  history=WINDOW)
+            try:
+                seconds = min(seconds, replay(fleet))
+            finally:
+                fleet.shutdown()
+        results["configs"][f"sharded-{n_shards}"] = {
+            "n_shards": n_shards,
+            "seconds": seconds,
+            "observations_per_second": total / seconds,
+            "speedup_vs_inline":
+                results["configs"]["inline"]["seconds"] / seconds,
+        }
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--models", type=int, default=40)
@@ -218,6 +287,10 @@ def main(argv=None) -> int:
     parser.add_argument("--training", action="store_true",
                         help="also bench fused vs reference ensemble "
                              "training and emit BENCH_training.json")
+    parser.add_argument("--fleet", action="store_true",
+                        help="also bench the single-process StreamFleet "
+                             "vs the multi-process ShardedFleet and emit "
+                             "BENCH_fleet.json")
     parser.add_argument("--emit-telemetry", action="store_true",
                         help="run the benches against a fresh metrics "
                              "registry and dump its JSON snapshot as "
@@ -284,11 +357,26 @@ def main(argv=None) -> int:
         if args.training:
             training = bench_training(args.embed_dim, args.layers,
                                       2 if args.quick else 3, args.quick)
+        fleet = None
+        if args.fleet:
+            fleet = bench_fleet(
+                n_streams=4 if args.quick else 8,
+                segment=128 if args.quick else 512,
+                micro_batch=args.micro_batch,
+                rounds=2 if args.quick else 3,
+                shard_counts=(1, 2) if args.quick else (1, 2, 4))
     print(f"  streaming update_batch({args.micro_batch}): "
           f"unfused {streaming['unfused']['observations_per_second']:7.0f}"
           f" obs/s  fused "
           f"{streaming['fused']['observations_per_second']:7.0f} obs/s  "
           f"-> {streaming['speedup']:.1f}x")
+    if fleet is not None:
+        for label, numbers in fleet["configs"].items():
+            suffix = "" if "speedup_vs_inline" not in numbers else \
+                f"  -> {numbers['speedup_vs_inline']:.2f}x vs inline"
+            print(f"  fleet {label:>10}: "
+                  f"{numbers['observations_per_second']:7.0f} obs/s"
+                  f"{suffix}")
     if training is not None:
         print(f"  training fit: reference "
               f"{training['reference_seconds']:6.2f} s  fused "
@@ -301,6 +389,8 @@ def main(argv=None) -> int:
                ("BENCH_streaming.json", streaming)]
     if training is not None:
         outputs.append(("BENCH_training.json", training))
+    if fleet is not None:
+        outputs.append(("BENCH_fleet.json", fleet))
     for name, payload in outputs:
         path = os.path.join(args.out, name)
         with open(path, "w") as handle:
