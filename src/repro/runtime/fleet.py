@@ -104,6 +104,8 @@ def _server_main(index: int, conn, fleet_factory, port,
                 result = fleet.update_batch(args[0], args[1])
             elif op == "update_many":
                 result = fleet.update_many(args[0])
+            elif op == "update_coalesced":
+                result = fleet.update_coalesced(args[0])
             elif op == "warm_up":
                 fleet.warm_up(args[0], args[1])
                 result = None
@@ -303,6 +305,25 @@ class ShardedFleet:
             per_shard.setdefault(self.shard_of(name), {})[name] = \
                 observations
         replies = self._scatter({index: ("update_many", sub)
+                                 for index, sub in per_shard.items()})
+        merged: Dict[str, list] = {}
+        for reply in replies.values():
+            merged.update(reply)
+        return merged
+
+    def update_coalesced(self, batches: Mapping[str, object]
+                         ) -> Dict[str, list]:
+        """Scatter like :meth:`update_many`, but each shard coalesces
+        the streams of its slice that share an ensemble into one fused
+        scoring call (:meth:`StreamFleet.update_coalesced`).  Coalescing
+        never crosses a shard boundary — windows would have to cross
+        the pipe — so the fused-group ceiling is the per-shard stream
+        count, which is exactly the set sharing a process anyway."""
+        per_shard: Dict[int, dict] = {}
+        for name, observations in batches.items():
+            per_shard.setdefault(self.shard_of(name), {})[name] = \
+                observations
+        replies = self._scatter({index: ("update_coalesced", sub)
                                  for index, sub in per_shard.items()})
         merged: Dict[str, list] = {}
         for reply in replies.values():

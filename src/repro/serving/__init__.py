@@ -1,0 +1,29 @@
+"""``repro.serving`` — the networked detection front-end.
+
+An asyncio TCP service that puts a :class:`~repro.streaming.multi
+.StreamFleet` (or multi-process :class:`~repro.runtime.fleet
+.ShardedFleet`) behind a socket: length-prefixed JSON frames in,
+rendered :class:`~repro.streaming.engine.StreamUpdate` rows out.
+Concurrent updates for different streams that share an ensemble are
+coalesced into single fused batched scoring calls — bit-identical to
+serial per-stream calls, at a fraction of the dispatch cost.  The
+bounded request queue applies explicit ``overloaded`` backpressure,
+``metrics``/``healthz`` expose the obs registry and refresh admission
+state, and shutdown drains: every admitted request is answered and the
+fleet is checkpointed.
+
+See ``docs/serving.md`` for the protocol, operational guarantees and a
+quickstart.
+"""
+
+from .client import ServingClient
+from .protocol import (MAX_FRAME_BYTES, FrameError, decode_payload,
+                       encode_frame, read_frame, render_update,
+                       split_frames, write_frame)
+from .server import DetectionServer, ServerClosed
+
+__all__ = [
+    "DetectionServer", "FrameError", "MAX_FRAME_BYTES", "ServerClosed",
+    "ServingClient", "decode_payload", "encode_frame", "read_frame",
+    "render_update", "split_frames", "write_frame",
+]

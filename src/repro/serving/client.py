@@ -1,0 +1,95 @@
+"""A minimal asyncio client for the detection service.
+
+:class:`ServingClient` speaks the length-prefixed JSON protocol of
+:mod:`repro.serving.protocol` over one TCP connection.  Requests on a
+connection are serialized by an internal lock (write the frame, read
+the matching reply), so one client is safe to share between tasks;
+open several clients when you want requests *in flight concurrently* —
+that is exactly what makes the server coalesce them into fused batches.
+
+>>> # doctest-style sketch (needs a running server):
+>>> #   client = await ServingClient.connect("127.0.0.1", server.port)
+>>> #   reply = await client.update("machine-7", observation)
+>>> #   if reply["status"] == "overloaded": back_off_and_retry()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Optional, Sequence
+
+from .protocol import read_frame, write_frame
+
+__all__ = ["ServingClient"]
+
+
+class ServingClient:
+    """One connection to a :class:`~repro.serving.server.DetectionServer`.
+
+    Construct via :meth:`connect`.  Every method returns the server's
+    response dict verbatim — callers branch on ``response["status"]``
+    (``ok`` / ``overloaded`` / ``draining`` / ``error``); the client
+    raises only on transport failures (:class:`ConnectionError`).
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+        self._ids = itertools.count(1)
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServingClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, payload: dict) -> dict:
+        """Send one request and await its reply (serialized per client)."""
+        payload = dict(payload, id=next(self._ids))
+        async with self._lock:
+            await write_frame(self._writer, payload)
+            response = await read_frame(self._reader)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        return response
+
+    async def update(self, stream: str,
+                     observation: Sequence[float]) -> dict:
+        return await self.request({"op": "update", "stream": stream,
+                                   "observation": list(observation)})
+
+    async def update_batch(self, stream: str, observations) -> dict:
+        rows = [list(row) for row in observations]
+        return await self.request({"op": "update_batch",
+                                   "stream": stream,
+                                   "observations": rows})
+
+    async def warm_up(self, stream: str, series) -> dict:
+        rows = [list(row) for row in series]
+        return await self.request({"op": "warm_up", "stream": stream,
+                                   "series": rows})
+
+    async def metrics(self) -> dict:
+        return await self.request({"op": "metrics"})
+
+    async def healthz(self) -> dict:
+        return await self.request({"op": "healthz"})
+
+    async def telemetry(self) -> dict:
+        return await self.request({"op": "telemetry"})
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServingClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> Optional[bool]:
+        await self.close()
+        return None

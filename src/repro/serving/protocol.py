@@ -1,0 +1,144 @@
+"""Wire protocol of the detection service: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON — the simplest framing that is self-delimiting on a
+TCP stream, language-neutral, and safe against partial reads.  Requests
+and responses are JSON objects; a request may carry an ``id`` the
+response echoes, so clients can correlate replies however they pipeline.
+
+Request shapes (``op`` selects the handler; see ``docs/serving.md``)::
+
+    {"op": "update",       "stream": "s1", "observation": [0.1, 0.2]}
+    {"op": "update_batch", "stream": "s1", "observations": [[...], ...]}
+    {"op": "warm_up",      "stream": "s1", "series": [[...], ...]}
+    {"op": "metrics"}                      # Prometheus text + report
+    {"op": "healthz"}                      # liveness + admission state
+    {"op": "telemetry"}                    # the fleet's one-dict view
+
+Every response carries ``status``: ``"ok"``, ``"overloaded"`` (bounded
+queue full — retry with backoff), ``"draining"`` (server shutting down)
+or ``"error"`` (malformed request or per-stream failure, with
+``error``).  Scoring responses carry ``results``: one rendered
+:class:`~repro.streaming.engine.StreamUpdate` per observation.
+
+The pure helpers below are the protocol's whole surface — the asyncio
+reader/writer wrappers in :mod:`repro.serving.server` and
+:mod:`repro.serving.client` delegate to them, so one doctested place
+defines the bytes on the wire.
+
+>>> payload = {"op": "healthz", "id": 7}
+>>> frame = encode_frame(payload)
+>>> frame[:4] == len(frame[4:]).to_bytes(4, "big")
+True
+>>> decode_payload(frame[4:]) == payload
+True
+>>> messages, rest = split_frames(frame + frame + frame[:5])
+>>> [m["id"] for m in messages], len(rest)
+([7, 7], 5)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "MAX_FRAME_BYTES", "FrameError", "encode_frame", "decode_payload",
+    "split_frames", "read_frame", "write_frame", "render_update",
+]
+
+# Upper bound on one frame's JSON body.  Generous for micro-batches
+# (a 10k-observation float batch is ~2 MiB of JSON) while bounding what
+# a single malformed or hostile frame can make the server buffer.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A frame violated the protocol (oversized or invalid JSON)."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one message to its on-wire bytes (header + JSON body)."""
+    body = json.dumps(payload, separators=(",", ":"),
+                      allow_nan=False).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte protocol limit")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    """Parse a frame body; raises :class:`FrameError` on bad JSON."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"invalid frame body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError(f"frame body must be a JSON object, "
+                         f"got {type(payload).__name__}")
+    return payload
+
+
+def split_frames(data: bytes) -> Tuple[List[dict], bytes]:
+    """Split a byte buffer into complete messages plus the unconsumed
+    tail (a partial frame awaiting more bytes) — the sans-IO core the
+    async wrappers build on."""
+    messages: List[dict] = []
+    view = memoryview(data)
+    while len(view) >= _HEADER.size:
+        (length,) = _HEADER.unpack_from(view)
+        if length > MAX_FRAME_BYTES:
+            raise FrameError(f"declared frame length {length} exceeds "
+                             f"the {MAX_FRAME_BYTES}-byte protocol limit")
+        if len(view) < _HEADER.size + length:
+            break
+        messages.append(decode_payload(
+            bytes(view[_HEADER.size:_HEADER.size + length])))
+        view = view[_HEADER.size + length:]
+    return messages, bytes(view)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one message; ``None`` on a clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None                    # clean close between frames
+        raise FrameError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"declared frame length {length} exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte protocol limit")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid-frame") from exc
+    return decode_payload(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
+    """Write one message and flush it to the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+def render_update(update) -> dict:
+    """One :class:`~repro.streaming.engine.StreamUpdate` as JSON-pure.
+
+    ``drift`` collapses to the event's kind (or ``None``) — the full
+    event detail stays inspectable via the telemetry op rather than
+    riding every response.
+    """
+    return {
+        "index": update.index,
+        "score": update.score,
+        "threshold": update.threshold,
+        "alert": bool(update.alert),
+        "drift": update.drift.kind if update.drift is not None else None,
+        "refreshed": bool(update.refreshed),
+    }

@@ -101,7 +101,7 @@ from .coordinator import (AdmissionClosed, CoordinatedRefreshClient,
                           CoordinatorStats, RefreshCoordinator)
 from .drift import (DDMDrift, DriftEvent, PageHinkley,
                     drift_detector_from_state)
-from .engine import StreamingDetector, StreamUpdate
+from .engine import PreparedBatch, StreamingDetector, StreamUpdate
 from .multi import (StreamFleet, StreamStats, shared_fleet,
                     sharded_fleet)
 from .refresh import EnsembleRefresher, RefreshReport
@@ -111,7 +111,8 @@ __all__ = [
     "AdmissionClosed", "BurnInMAD", "CoordinatedRefreshClient",
     "CoordinatorStats", "DDMDrift",
     "DecayedQuantile", "DecayedReservoirBuffer", "DriftEvent",
-    "EnsembleRefresher", "HistoryBuffer", "PageHinkley", "RefreshCoordinator",
+    "EnsembleRefresher", "HistoryBuffer", "PageHinkley", "PreparedBatch",
+    "RefreshCoordinator",
     "RefreshHandle", "RefreshReport", "RefreshWorker", "ReservoirBuffer",
     "SlidingWindow", "StreamFleet", "StreamStats", "StreamUpdate",
     "StreamingDetector", "calibrator_from_state",

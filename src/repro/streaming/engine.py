@@ -96,6 +96,28 @@ class _StreamTelemetry:
             buckets_per_decade=3)
 
 
+@dataclasses.dataclass
+class PreparedBatch:
+    """A micro-batch readied for scoring but not yet scored.
+
+    The two-phase split behind cross-stream micro-batch coalescing
+    (:meth:`StreamingDetector.prepare_update` /
+    :meth:`StreamingDetector.apply_update`): a coalescer prepares one
+    batch per stream, stacks every prepared ``windows`` array that
+    shares an ensemble into **one** fused scoring call, then applies
+    each stream's slice of the scores.  ``windows`` is ``None`` while
+    the stream's very first window is still filling (nothing scoreable
+    this batch).  The plain :meth:`StreamingDetector.update_batch` is
+    exactly ``apply_update(prepare_update(x), ensemble.score(...))`` —
+    one code path, so coalesced and serial results are bit-identical.
+    """
+    n: int
+    first_scoreable: int
+    windows: Optional[np.ndarray]
+    ensemble: CAEEnsemble
+    tick: float = 0.0
+
+
 @dataclasses.dataclass(frozen=True)
 class StreamUpdate:
     """Outcome of ingesting one observation.
@@ -424,16 +446,35 @@ class StreamingDetector:
         calibration and drift state — they are on the old ensemble's score
         scale; the refreshed ensemble takes over from the next call.
         """
+        prepared = self.prepare_update(observations)
+        scores = None if prepared.windows is None \
+            else self.ensemble.score_windows_last(prepared.windows)
+        return self.apply_update(prepared, scores)
+
+    def prepare_update(self, observations: np.ndarray) -> PreparedBatch:
+        """Phase one of :meth:`update_batch`: ready a batch for scoring.
+
+        Adopts a finished background build (the batch-boundary swap),
+        assembles the scoreable windows over the pre-batch context and
+        pushes the arrivals into the window/history buffers.  The
+        returned :class:`PreparedBatch` names the ensemble that must
+        score ``windows`` — grouping prepared batches by that ensemble
+        (identity) is what lets a coalescer stack windows from many
+        streams into one fused call.  Every prepared batch must be
+        completed with :meth:`apply_update` before this stream is
+        touched again.
+        """
         observations = np.asarray(observations, dtype=np.float64)
         if observations.ndim != 2 or \
                 observations.shape[1] != self._window.dims:
             raise ValueError(f"expected (B, {self._window.dims}) "
                              f"observations, got {observations.shape}")
         n = observations.shape[0]
-        if n == 0:
-            return []
         obs = self._obs
         tick = time.perf_counter() if obs.enabled else 0.0
+        if n == 0:
+            return PreparedBatch(n=0, first_scoreable=0, windows=None,
+                                 ensemble=self.ensemble, tick=tick)
         # Boundary: adopt a finished background build before scoring, so
         # every score of this batch comes from one ensemble.
         self.poll_refresh()
@@ -445,14 +486,34 @@ class StreamingDetector:
         # Arrival i sits at context row len(tail)+i; it is scoreable once
         # that row is the end of a full window.
         first_scoreable = max(0, window - 1 - tail.shape[0])
-        scores: Optional[np.ndarray] = None
+        windows: Optional[np.ndarray] = None
         if context.shape[0] >= window:
             # Zero-copy: the windows stay a strided view over the batch
             # context; scoring scales/casts into reused buffers.
             windows = sliding_windows(context, window)
-            scores = self.ensemble.score_windows_last(windows)
         self._window.push_many(observations)
         self._history.push_many(observations)
+        return PreparedBatch(n=n, first_scoreable=first_scoreable,
+                             windows=windows, ensemble=self.ensemble,
+                             tick=tick)
+
+    def apply_update(self, prepared: PreparedBatch,
+                     scores: Optional[np.ndarray]) -> List[StreamUpdate]:
+        """Phase two of :meth:`update_batch`: ingest the batch's scores.
+
+        ``scores`` must be the per-window scores of
+        ``prepared.windows`` — scored by ``prepared.ensemble``, either
+        alone or as this stream's slice of a coalesced stack (the
+        per-window results are identical either way).  Calibration,
+        alerting, drift detection and refresh run per arrival in order,
+        exactly as :meth:`update_batch` does.
+        """
+        n = prepared.n
+        if n == 0:
+            return []
+        obs = self._obs
+        tick = prepared.tick
+        first_scoreable = prepared.first_scoreable
 
         updates: List[StreamUpdate] = []
         feed_state = True

@@ -125,6 +125,65 @@ class StreamFleet:
         return {name: self.update_batch(name, observations)
                 for name, observations in batches.items()}
 
+    def update_coalesced(self, batches: Mapping[str, np.ndarray]
+                         ) -> Dict[str, List[StreamUpdate]]:
+        """:meth:`update_many`, but streams sharing an ensemble score in
+        **one** fused batched call instead of per-stream serial calls.
+
+        Each stream's batch is prepared first
+        (:meth:`~repro.streaming.engine.StreamingDetector.prepare_update`
+        — boundary swap, window assembly, buffer pushes), then prepared
+        batches are grouped by the *identity* of the ensemble that must
+        score them; every group's windows are stacked into a single
+        ``score_windows_last`` call, and each stream applies its slice
+        of the scores.  Per-window scores are independent of what else
+        is in the stack, so results are bit-identical to
+        :meth:`update_many` — coalescing is purely a throughput lever:
+        the fused engine's per-call overhead (Python dispatch, layer
+        setup, im2col) is paid once per *group*, not once per stream.
+
+        The fused-group size (streams per scoring call) is observed in
+        the process registry's ``repro_fleet_coalesce_size`` histogram —
+        the serving front-end's proof that coalescing actually happens.
+        """
+        from ..obs import default_registry
+        prepared = []                    # (name, detector, PreparedBatch)
+        for name, observations in batches.items():
+            detector = self.detector(name)
+            prepared.append((name, detector,
+                             detector.prepare_update(observations)))
+        # Group by serving-ensemble identity *after* prepare: the
+        # boundary swap inside prepare_update may have changed it.
+        groups: Dict[int, List[int]] = {}
+        for position, (_, _, batch) in enumerate(prepared):
+            groups.setdefault(id(batch.ensemble), []).append(position)
+        registry = default_registry()
+        coalesce_size = registry.histogram("repro_fleet_coalesce_size",
+                                           low=1.0, high=1e4,
+                                           buckets_per_decade=4) \
+            if registry.enabled else None
+        all_scores: List[Optional[np.ndarray]] = [None] * len(prepared)
+        for members in groups.values():
+            scoreable = [p for p in members
+                         if prepared[p][2].windows is not None]
+            if not scoreable:
+                continue
+            ensemble = prepared[scoreable[0]][2].ensemble
+            stacked = prepared[scoreable[0]][2].windows \
+                if len(scoreable) == 1 else np.concatenate(
+                    [prepared[p][2].windows for p in scoreable])
+            scores = ensemble.score_windows_last(stacked)
+            if coalesce_size is not None:
+                coalesce_size.observe(len(scoreable))
+            offset = 0
+            for p in scoreable:
+                count = prepared[p][2].windows.shape[0]
+                all_scores[p] = scores[offset:offset + count]
+                offset += count
+        return {name: detector.apply_update(batch, all_scores[position])
+                for position, (name, detector, batch)
+                in enumerate(prepared)}
+
     def warm_up(self, name: str, series: np.ndarray) -> None:
         self.detector(name).warm_up(series)
 

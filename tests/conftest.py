@@ -135,6 +135,29 @@ def fabricate_ensemble(n_models=2, n_layers=1, seed=0, dims=2):
     return ensemble
 
 
+def free_tcp_port(host: str = "127.0.0.1") -> int:
+    """Bind-then-release an ephemeral TCP port and return its number.
+
+    Every serving test that needs a concrete port goes through this one
+    helper (or the fixture below) instead of hard-coding numbers, so
+    parallel test runs never collide.  Note the small race window
+    between release and reuse — prefer letting the server bind
+    ``port=0`` itself and reading ``server.port`` when possible; this
+    helper exists for the cases that must know the port *before* the
+    bind (e.g. negative tests against an unbound port).
+    """
+    import socket
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture(name="free_tcp_port")
+def _free_tcp_port_fixture():
+    """Fixture form of :func:`free_tcp_port` for direct injection."""
+    return free_tcp_port()
+
+
 @pytest.fixture
 def shm_namespace():
     """A unique shared-memory namespace per test, so segment-leak

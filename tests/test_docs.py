@@ -19,6 +19,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DOCTESTED_MODULES = [
     "repro.metrics.events",
     "repro.obs",
+    "repro.serving.protocol",
     "repro.obs.exporters",
     "repro.obs.registry",
     "repro.obs.tracing",
@@ -34,7 +35,8 @@ DOCTESTED_MODULES = [
 
 MARKDOWN_FILES = ["README.md", "PAPER.md", "ROADMAP.md", "CHANGES.md",
                   "docs/architecture.md", "docs/checkpoints.md",
-                  "docs/observability.md"]
+                  "docs/observability.md", "docs/performance.md",
+                  "docs/serving.md"]
 
 
 class TestIntraRepoLinks:
@@ -59,8 +61,37 @@ class TestIntraRepoLinks:
         readme = (REPO_ROOT / "README.md").read_text()
         for needle in ("Install", "Quickstart", "repro.experiments",
                        "shared_fleet", "Benchmark index",
-                       "Repository map", "Observability"):
+                       "Repository map", "Observability",
+                       "repro.serving", "DetectionServer"):
             assert needle in readme, f"README lacks {needle!r}"
+
+
+class TestClockDiscipline:
+    """Durations are measured with the monotonic ``time.perf_counter``,
+    never the wall clock — ``time.time()`` jumps under NTP slews and
+    DST, which corrupts benchmark numbers and latency histograms.  The
+    audit allowlists the one intentional wall-clock use: a span's
+    *start timestamp* in ``obs/tracing.py`` (an epoch anchor for log
+    correlation; the span's duration uses ``perf_counter``)."""
+
+    ALLOWED_WALL_CLOCK = {"src/repro/obs/tracing.py"}
+
+    def test_no_wall_clock_durations_outside_the_allowlist(self):
+        offenders = []
+        for area in ("src", "tools", "benchmarks"):
+            root = REPO_ROOT / area
+            if not root.exists():
+                continue
+            for path in root.rglob("*.py"):
+                relative = str(path.relative_to(REPO_ROOT))
+                if relative in self.ALLOWED_WALL_CLOCK:
+                    continue
+                if "time.time(" in path.read_text():
+                    offenders.append(relative)
+        assert offenders == [], (
+            f"wall-clock time.time() found in {offenders}; use "
+            f"time.perf_counter() for durations (or extend the "
+            f"allowlist for a genuine epoch timestamp)")
 
 
 class TestDoctests:

@@ -8,6 +8,7 @@ saved mid-async-refresh: the half-built replacement is discarded, the
 request survives, and the resumed stream rebuilds it.
 """
 
+import os
 import threading
 
 import numpy as np
@@ -217,3 +218,47 @@ class TestMidAsyncRefreshSave:
         rebuilt_report = restored.refresh_reports[0]
         assert rebuilt_report.mode == "async"
         assert rebuilt_report.history_length >= 40
+
+
+class TestCommittedFormatFixtures:
+    """Back-compat regression guard: the committed checkpoints under
+    ``tests/data/fleet_checkpoint_v{1,2}`` were written by earlier (v1)
+    and current (v2) writers and must keep loading forever.  Regenerate
+    only when minting a NEW version (``tools/make_checkpoint_fixtures
+    .py``) — never rewrite the old ones."""
+
+    FIXTURES = os.path.join(os.path.dirname(__file__), "data")
+
+    def load_fixture(self, version: int):
+        return load_fleet(os.path.join(self.FIXTURES,
+                                       f"fleet_checkpoint_v{version}"))
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_fixture_loads_and_scores(self, version):
+        fleet = self.load_fixture(version)
+        assert fleet.names == ["alpha", "beta"]
+        for name in fleet.names:
+            updates = fleet.update_batch(name,
+                                         sine_regime(4, start=28, seed=42))
+            assert len(updates) == 4
+            assert all(np.isfinite(update.score) for update in updates)
+
+    def test_v1_has_no_coordinator_v2_rebuilds_one(self):
+        assert self.load_fixture(1).coordinator is None
+        coordinator = self.load_fixture(2).coordinator
+        assert coordinator is not None
+        assert coordinator.max_concurrent_builds == 1
+        coordinator.shutdown()
+
+    def test_v1_and_v2_resume_bit_identically(self):
+        # Same fleet, two formats: future traffic must score the same.
+        old, new = self.load_fixture(1), self.load_fixture(2)
+        traffic = sine_regime(6, start=28, seed=42)
+        for name in old.names:
+            for from_v1, from_v2 in zip(old.update_batch(name, traffic),
+                                        new.update_batch(name, traffic)):
+                assert from_v1.score == from_v2.score
+                assert from_v1.index == from_v2.index
+                assert from_v1.threshold == from_v2.threshold
+        if new.coordinator is not None:
+            new.coordinator.shutdown()

@@ -202,3 +202,124 @@ class TestInstrumentTypes:
         assert isinstance(registry.gauge("g"), Gauge)
         assert isinstance(registry.histogram("h"), Histogram)
         assert registry.counter("c").enabled
+
+
+class TestMergeSnapshots:
+    """Edge cases of the cross-process snapshot merge (the read side of
+    the sharded fleet's and serving front-end's telemetry)."""
+
+    @staticmethod
+    def snap(fill):
+        registry = MetricsRegistry()
+        fill(registry)
+        return registry.snapshot()
+
+    def test_empty_input_yields_empty_snapshot_shape(self):
+        from repro.obs import merge_snapshots
+        merged = merge_snapshots([])
+        assert merged == {"counters": [], "gauges": [], "histograms": []}
+        # ... and merging empty snapshots is just as empty.
+        empty = MetricsRegistry().snapshot()
+        assert merge_snapshots([empty, empty]) == merged
+
+    def test_single_snapshot_round_trips(self):
+        from repro.obs import merge_snapshots
+        snapshot = self.snap(lambda r: (r.counter("c").inc(3),
+                                        r.gauge("g").set(1.5),
+                                        r.histogram("h").observe(0.2)))
+        merged = merge_snapshots([snapshot])
+        assert merged["counters"] == snapshot["counters"]
+        assert merged["gauges"] == snapshot["gauges"]
+        [histogram] = merged["histograms"]
+        [original] = snapshot["histograms"]
+        assert histogram["count"] == original["count"]
+        assert histogram["sum"] == original["sum"]
+        assert histogram["buckets"] == original["buckets"]
+
+    def test_disjoint_metric_names_union_without_crosstalk(self):
+        from repro.obs import merge_snapshots
+        left = self.snap(lambda r: r.counter("only_left").inc(2))
+        right = self.snap(lambda r: (r.counter("only_right").inc(5),
+                                     r.histogram("h_right").observe(1.0)))
+        merged = merge_snapshots([left, right])
+        values = {entry["name"]: entry["value"]
+                  for entry in merged["counters"]}
+        assert values == {"only_left": 2, "only_right": 5}
+        assert [h["name"] for h in merged["histograms"]] == ["h_right"]
+
+    def test_same_name_different_labels_stay_separate(self):
+        from repro.obs import merge_snapshots
+        left = self.snap(lambda r: r.counter("ops", op="read").inc(1))
+        right = self.snap(lambda r: r.counter("ops", op="write").inc(4))
+        merged = merge_snapshots([left, right])
+        by_label = {entry["labels"]["op"]: entry["value"]
+                    for entry in merged["counters"]}
+        assert by_label == {"read": 1, "write": 4}
+
+    def test_gauges_merge_additively_as_documented(self):
+        # The documented semantics: this codebase's gauges (queue depth,
+        # builds in flight, buffer occupancy) are additive across
+        # processes, so the merge is a sum — NOT last-writer-wins.
+        from repro.obs import merge_snapshots
+        left = self.snap(lambda r: r.gauge("queue_depth").set(3))
+        right = self.snap(lambda r: r.gauge("queue_depth").set(5))
+        [gauge] = merge_snapshots([left, right])["gauges"]
+        assert gauge["value"] == 8.0
+
+    def test_histogram_bucket_boundary_mismatch_merges_by_union(self):
+        # Two processes exporting one histogram name with *different*
+        # bucket geometries (e.g. a config drift across a rolling
+        # deploy): the merge unions the upper bounds, keeps exact
+        # count/sum/min/max, and re-estimates quantiles at the coarser
+        # combined resolution instead of crashing or dropping data.
+        from repro.obs import merge_snapshots
+        fine = self.snap(lambda r: [
+            r.histogram("lat", low=1e-3, high=10.0,
+                        buckets_per_decade=9).observe(v)
+            for v in (0.01, 0.02, 0.04)])
+        coarse = self.snap(lambda r: [
+            r.histogram("lat", low=1e-2, high=100.0,
+                        buckets_per_decade=3).observe(v)
+            for v in (0.5, 2.0)])
+        [merged] = merge_snapshots([fine, coarse])["histograms"]
+        assert merged["count"] == 5
+        assert merged["sum"] == pytest.approx(0.01 + 0.02 + 0.04
+                                              + 0.5 + 2.0)
+        assert merged["min"] == pytest.approx(0.01)
+        assert merged["max"] == pytest.approx(2.0)
+        # Cumulative buckets stay monotone over the unioned bounds and
+        # end at the total count.
+        bounds = [bucket["le"] for bucket in merged["buckets"]]
+        counts = [bucket["count"] for bucket in merged["buckets"]]
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+        assert merged["p50"] is not None
+        assert 0.01 <= merged["p50"] <= 2.0
+
+    def test_histogram_merge_matches_single_process_quantiles(self):
+        # Splitting one sample stream across two processes must agree
+        # with observing it all in one registry (same geometry).
+        from repro.obs import merge_snapshots
+        values = [0.001 * (1.17 ** k) for k in range(60)]
+        whole = self.snap(lambda r: [r.histogram("h").observe(v)
+                                     for v in values])
+        left = self.snap(lambda r: [r.histogram("h").observe(v)
+                                    for v in values[::2]])
+        right = self.snap(lambda r: [r.histogram("h").observe(v)
+                                     for v in values[1::2]])
+        [expected] = merge_snapshots([whole])["histograms"]
+        [merged] = merge_snapshots([left, right])["histograms"]
+        assert merged["count"] == expected["count"]
+        assert merged["sum"] == pytest.approx(expected["sum"])
+        for quantile in ("p50", "p95", "p99"):
+            assert merged[quantile] == pytest.approx(expected[quantile])
+
+    def test_empty_histogram_entry_merges_to_none_quantiles(self):
+        from repro.obs import merge_snapshots
+        def fill(r):
+            r.histogram("h")                 # registered, never observed
+        [merged] = merge_snapshots([self.snap(fill)])["histograms"]
+        assert merged["count"] == 0
+        assert merged["p50"] is None and merged["p99"] is None
+        assert merged["buckets"] == []

@@ -17,7 +17,12 @@ diffable across commits:
 * ``BENCH_fleet.json`` (``--fleet``) — single-process ``StreamFleet``
   vs the multi-process ``ShardedFleet`` on the same replay workload,
   across shard counts (the process-model scaling table of
-  ``docs/performance.md``).
+  ``docs/performance.md``);
+* ``BENCH_serving.json`` (``--serving``) — the TCP front-end under
+  100+ concurrent streams, cross-stream coalesced scoring vs
+  per-stream serial calls: observations/second, request p50/p99 and
+  the fused-batch depth (the serving table of ``docs/performance.md``
+  and ``docs/serving.md``).
 
 The ensemble's basic models are random-initialised rather than trained:
 inference cost is independent of the weight values, and fabricating the
@@ -275,6 +280,92 @@ def bench_fleet(n_streams: int, segment: int, micro_batch: int,
     return results
 
 
+def bench_serving(n_streams: int, ticks: int, rounds: int) -> dict:
+    """The networked front-end: coalesced vs per-stream serial scoring.
+
+    ``n_streams`` concurrent clients (one TCP connection each) stream
+    ``ticks`` single-observation updates through a
+    :class:`~repro.serving.DetectionServer` over a shared-ensemble
+    fleet.  The ``coalesced`` config fuses concurrent cross-stream
+    updates into batched scoring calls; the ``serial`` config
+    (``coalesce=False``) scores every request in its own
+    ``update_batch`` call — the baseline the speedup column is against.
+    Requests per stream are sequential (a client awaits each reply), so
+    concurrency — and therefore fused batch depth — comes entirely from
+    the stream count, exactly like production traffic.  Latency
+    quantiles come from the server's own ``repro_serving_request
+    _seconds`` histogram; mean fused-batch depth from
+    ``repro_fleet_coalesce_size``.
+    """
+    import asyncio
+
+    from repro.serving import DetectionServer, ServingClient
+    from repro.streaming import shared_fleet
+
+    series = make_series(2048)
+    ensemble = fabricate_ensemble(8, 16, 2, series)
+    warm = series[-(WINDOW - 1):]
+    traffic = make_series(2048 + ticks)[-ticks:]
+    names = [f"stream-{i:03d}" for i in range(n_streams)]
+
+    async def run(coalesce: bool, registry: MetricsRegistry) -> float:
+        fleet = shared_fleet(ensemble, history=WINDOW)
+        for name in names:
+            fleet.warm_up(name, warm)
+        server = DetectionServer(fleet, coalesce=coalesce,
+                                 registry=registry)
+        await server.start()
+        clients = [await ServingClient.connect("127.0.0.1", server.port)
+                   for _ in names]
+
+        async def drive(client, name):
+            for row in traffic:
+                reply = await client.update(name, row)
+                assert reply["status"] == "ok", reply
+
+        tick = time.perf_counter()
+        await asyncio.gather(*[drive(client, name)
+                               for client, name in zip(clients, names)])
+        seconds = time.perf_counter() - tick
+        for client in clients:
+            await client.close()
+        await server.stop()
+        return seconds
+
+    total = n_streams * ticks
+    results = {"n_streams": n_streams, "ticks_per_stream": ticks,
+               "total_observations": total, "n_models": 8,
+               "configs": {}}
+    for label, coalesce in (("serial", False), ("coalesced", True)):
+        seconds = float("inf")
+        registry = None
+        for _ in range(rounds):
+            candidate = MetricsRegistry()
+            # Installed as the process default too: the fleet's
+            # coalesce-size histogram is recorded by StreamFleet, not
+            # the server, and must land in the same registry.
+            with use_registry(candidate):
+                round_seconds = asyncio.run(run(coalesce, candidate))
+            if round_seconds < seconds:
+                seconds, registry = round_seconds, candidate
+        latency = registry.histogram("repro_serving_request_seconds")
+        fused = registry.histogram("repro_fleet_coalesce_size", low=1.0,
+                                   high=1e4, buckets_per_decade=4)
+        results["configs"][label] = {
+            "seconds": seconds,
+            "observations_per_second": total / seconds,
+            "request_p50_ms": (latency.quantile(0.50) or 0.0) * 1e3,
+            "request_p99_ms": (latency.quantile(0.99) or 0.0) * 1e3,
+            "mean_fused_batch": fused.sum / fused.count
+            if fused.count else None,
+            "max_fused_batch": fused.max if fused.count else None,
+        }
+    results["speedup_vs_serial"] = \
+        results["configs"]["coalesced"]["observations_per_second"] / \
+        results["configs"]["serial"]["observations_per_second"]
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--models", type=int, default=40)
@@ -291,6 +382,10 @@ def main(argv=None) -> int:
                         help="also bench the single-process StreamFleet "
                              "vs the multi-process ShardedFleet and emit "
                              "BENCH_fleet.json")
+    parser.add_argument("--serving", action="store_true",
+                        help="also bench the TCP serving front-end, "
+                             "coalesced vs per-stream serial scoring, "
+                             "and emit BENCH_serving.json")
     parser.add_argument("--emit-telemetry", action="store_true",
                         help="run the benches against a fresh metrics "
                              "registry and dump its JSON snapshot as "
@@ -365,6 +460,14 @@ def main(argv=None) -> int:
                 micro_batch=args.micro_batch,
                 rounds=2 if args.quick else 3,
                 shard_counts=(1, 2) if args.quick else (1, 2, 4))
+        serving = None
+        if args.serving:
+            # The acceptance workload: >= 100 concurrent streams in
+            # both modes (quick only trims the per-stream tick count).
+            serving = bench_serving(
+                n_streams=100 if args.quick else 128,
+                ticks=6 if args.quick else 24,
+                rounds=1 if args.quick else 2)
     print(f"  streaming update_batch({args.micro_batch}): "
           f"unfused {streaming['unfused']['observations_per_second']:7.0f}"
           f" obs/s  fused "
@@ -377,6 +480,16 @@ def main(argv=None) -> int:
             print(f"  fleet {label:>10}: "
                   f"{numbers['observations_per_second']:7.0f} obs/s"
                   f"{suffix}")
+    if serving is not None:
+        for label, numbers in serving["configs"].items():
+            depth = numbers["mean_fused_batch"]
+            print(f"  serving {label:>9}: "
+                  f"{numbers['observations_per_second']:7.0f} obs/s  "
+                  f"p99 {numbers['request_p99_ms']:7.2f} ms"
+                  + (f"  mean fused batch {depth:.1f}"
+                     if depth is not None else ""))
+        print(f"  serving coalesced vs serial: "
+              f"{serving['speedup_vs_serial']:.2f}x")
     if training is not None:
         print(f"  training fit: reference "
               f"{training['reference_seconds']:6.2f} s  fused "
@@ -391,6 +504,8 @@ def main(argv=None) -> int:
         outputs.append(("BENCH_training.json", training))
     if fleet is not None:
         outputs.append(("BENCH_fleet.json", fleet))
+    if serving is not None:
+        outputs.append(("BENCH_serving.json", serving))
     for name, payload in outputs:
         path = os.path.join(args.out, name)
         with open(path, "w") as handle:

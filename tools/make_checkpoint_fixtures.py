@@ -1,0 +1,61 @@
+"""Regenerate the committed fleet-checkpoint fixtures under tests/data/.
+
+The fixtures are the *back-compat regression guard*: tests load them on
+every run, so a format change that breaks reading old checkpoints fails
+CI instead of failing a production resume.  Run this only when
+intentionally minting a fixture for a NEW format version — never
+regenerate the old ones (that would defeat the guard):
+
+    PYTHONPATH=src:tests python tools/make_checkpoint_fixtures.py
+
+``fleet_checkpoint_v2`` is a genuine ``save_fleet`` checkpoint (current
+format).  ``fleet_checkpoint_v1`` is the same fleet downgraded to the
+v1 schema: ``format_version: 1`` and no ``coordinator`` entry — exactly
+what a pre-coordinator writer produced.
+"""
+
+import json
+import os
+import shutil
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+sys.path.insert(0, os.path.join(REPO, "tests"))
+
+from conftest import fabricate_ensemble, sine_regime      # noqa: E402
+from repro.core.persistence import save_fleet             # noqa: E402
+from repro.streaming import shared_fleet                  # noqa: E402
+
+
+def main() -> None:
+    data_dir = os.path.join(REPO, "tests", "data")
+    ensemble = fabricate_ensemble(seed=42)
+    fleet = shared_fleet(ensemble, history=64, refresh_mode="async",
+                         max_concurrent_builds=1)
+    for name in ("alpha", "beta"):
+        fleet.warm_up(name, sine_regime(24, seed=42))
+        fleet.update_batch(name, sine_regime(4, start=24, seed=42))
+
+    v2 = os.path.join(data_dir, "fleet_checkpoint_v2")
+    shutil.rmtree(v2, ignore_errors=True)
+    save_fleet(fleet, v2)
+
+    v1 = os.path.join(data_dir, "fleet_checkpoint_v1")
+    shutil.rmtree(v1, ignore_errors=True)
+    shutil.copytree(v2, v1)
+    state_path = os.path.join(v1, "fleet.json")
+    with open(state_path) as handle:
+        payload = json.load(handle)
+    payload["format_version"] = 1
+    payload.pop("coordinator", None)
+    with open(state_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    for version, path in (("v1", v1), ("v2", v2)):
+        size = sum(os.path.getsize(os.path.join(root, name))
+                   for root, _, names in os.walk(path) for name in names)
+        print(f"{version}: {path} ({size / 1024:.1f} KiB)")
+
+
+if __name__ == "__main__":
+    main()
