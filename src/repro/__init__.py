@@ -25,8 +25,14 @@ Package layout
 ``repro.runtime``     the multi-process fleet runtime: shared-memory
                       fused weight packs, a forked build pool behind the
                       coordinator's runner seam, a cross-process build
-                      broker, and a :class:`ShardedFleet` spreading
-                      streams over server processes
+                      broker, a :class:`ShardedFleet` spreading streams
+                      over server processes, and the supervision
+                      policies (retry/backoff, circuit breakers,
+                      restart budgets) that keep it self-healing
+``repro.faults``      deterministic fault injection: a seed-scheduled
+                      :class:`FaultPlan` firing crashes/errors/delays at
+                      named points in the runtime hot paths (disabled by
+                      default, zero overhead when off)
 
 Quickstart
 ----------
@@ -40,8 +46,8 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import (baselines, core, datasets, experiments, metrics, nn, obs,
-               runtime, streaming)
+from . import (baselines, core, datasets, experiments, faults, metrics, nn,
+               obs, runtime, streaming)
 
-__all__ = ["baselines", "core", "datasets", "experiments", "metrics", "nn",
-           "obs", "runtime", "streaming", "__version__"]
+__all__ = ["baselines", "core", "datasets", "experiments", "faults",
+           "metrics", "nn", "obs", "runtime", "streaming", "__version__"]

@@ -14,11 +14,12 @@ from .hyperparams import (DEFAULT_BETA_RANGE, DEFAULT_LAMBDA_RANGE,
                           PAPER_SELECTED_HYPERPARAMETERS, SelectionResult,
                           Trial, median_trial, select_hyperparameters)
 from .layers import DecoderLayer, Encoder, EncoderLayer, GLUConv
-from .persistence import (load_ensemble, load_fleet,
+from .persistence import (CheckpointError, load_ensemble, load_fleet,
                           load_sharded_fleet,
                           load_streaming_detector, save_ensemble,
                           save_fleet, save_sharded_fleet,
                           save_streaming_detector,
+                          validate_sharded_checkpoint,
                           verify_checkpoint)
 from .ratio_estimation import (elbow_ratio_estimate, estimate_outlier_ratio,
                                gaussian_tail_estimate, mad_ratio_estimate,
@@ -28,7 +29,7 @@ from .repair import (RepairResult, ensemble_reconstruction,
 from .transfer import TransferReport, transfer_parameters
 
 __all__ = [
-    "CAE", "CAEConfig", "CAEEnsemble", "DecoderLayer",
+    "CAE", "CAEConfig", "CAEEnsemble", "CheckpointError", "DecoderLayer",
     "DEFAULT_BETA_RANGE", "DEFAULT_LAMBDA_RANGE", "DEFAULT_WINDOW_RANGE",
     "Encoder", "EncoderLayer", "EnsembleConfig", "EpochRecord",
     "FusedEnsembleScorer", "GLUConv",
@@ -46,5 +47,6 @@ __all__ = [
     "reconstruction_loss", "repair_quality", "repair_series",
     "save_ensemble", "save_fleet", "save_sharded_fleet",
     "save_streaming_detector",
-    "select_hyperparameters", "transfer_parameters", "verify_checkpoint",
+    "select_hyperparameters", "transfer_parameters",
+    "validate_sharded_checkpoint", "verify_checkpoint",
 ]

@@ -88,6 +88,20 @@ CHECKPOINT_FORMAT_VERSION = 1
 _SAVING_SUFFIX = ".saving"
 _STALE_SUFFIX = ".stale"
 
+# The sharded-fleet parent manifest (written by ShardedFleet.checkpoint;
+# the format version lives with the writer in repro.runtime.fleet).
+SHARDED_MANIFEST_NAME = "sharded.json"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory is missing, incomplete, or damaged.
+
+    Raised by the sharded-fleet loaders *before* any server process is
+    forked, naming exactly which shard (or which manifest) is at fault —
+    a half-present checkpoint must fail the restore up front, not crash
+    N server processes with N different confusing errors.
+    """
+
 
 # ----------------------------------------------------------------------
 # Atomic checkpoint directories
@@ -228,6 +242,14 @@ def verify_checkpoint(directory: str) -> bool:
     _recover_checkpoint(directory)
     if not os.path.isdir(directory):
         return False
+    if os.path.exists(os.path.join(directory, SHARDED_MANIFEST_NAME)):
+        # A sharded-fleet checkpoint: complete when the parent manifest
+        # parses and every listed shard_<i>/ verifies in turn.
+        try:
+            validate_sharded_checkpoint(directory)
+        except CheckpointError:
+            return False
+        return True
     manifest_path = os.path.join(directory, CHECKPOINT_MANIFEST_NAME)
     if not os.path.exists(manifest_path):
         return True                       # pre-manifest checkpoint
@@ -454,6 +476,58 @@ def load_fleet(directory: str, refresher_factory=None,
 # ----------------------------------------------------------------------
 # Sharded fleets (repro.runtime.fleet)
 # ----------------------------------------------------------------------
+def validate_sharded_checkpoint(directory: str) -> dict:
+    """Validate a sharded-fleet checkpoint's layout; return its manifest.
+
+    Checks — in order, raising :class:`CheckpointError` naming the first
+    failure — that the directory exists, that its ``sharded.json``
+    manifest is present and parseable, and that **every** shard
+    directory the manifest lists exists and passes
+    :func:`verify_checkpoint`.  Called by the loaders before any server
+    process forks; safe to call directly as a pre-flight check.
+    """
+    directory = os.path.normpath(directory)
+    _recover_checkpoint(directory)
+    if not os.path.isdir(directory):
+        raise CheckpointError(
+            f"no sharded checkpoint at {directory!r}: the directory "
+            f"does not exist")
+    manifest_path = os.path.join(directory, SHARDED_MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise CheckpointError(
+            f"{directory!r} is not a sharded-fleet checkpoint: "
+            f"{SHARDED_MANIFEST_NAME} is missing (a save that crashed "
+            f"before writing the manifest leaves shard directories "
+            f"without one — re-checkpoint, or load the intact "
+            f"shard_<i>/ fleets individually)")
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        shards = list(manifest["shards"])
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise CheckpointError(
+            f"unreadable sharded manifest at {manifest_path!r}: "
+            f"{type(exc).__name__}: {exc}") from exc
+    for name in shards:
+        shard_dir = os.path.join(directory, str(name))
+        if not os.path.isdir(shard_dir):
+            raise CheckpointError(
+                f"sharded checkpoint {directory!r} is incomplete: shard "
+                f"directory {name!r} is missing (the manifest lists "
+                f"{len(shards)} shards)")
+        if not verify_checkpoint(shard_dir):
+            raise CheckpointError(
+                f"sharded checkpoint {directory!r} is damaged: shard "
+                f"{name!r} fails checkpoint verification (torn or "
+                f"partially deleted files under {shard_dir!r})")
+        if not os.path.exists(os.path.join(shard_dir, FLEET_STATE_NAME)):
+            raise CheckpointError(
+                f"sharded checkpoint {directory!r} is damaged: shard "
+                f"{name!r} has no {FLEET_STATE_NAME} — not a fleet "
+                f"checkpoint")
+    return manifest
+
+
 def save_sharded_fleet(fleet, directory: str) -> str:
     """Checkpoint a live :class:`repro.runtime.fleet.ShardedFleet`.
 
@@ -472,7 +546,11 @@ def load_sharded_fleet(directory: str, refresher_factory=None,
     """Resume a sharded fleet saved by :func:`save_sharded_fleet`.
 
     Forks one server per saved shard; each loads its own ``shard_<i>/``
-    checkpoint via :func:`load_fleet`.  ``kwargs`` pass through to
+    checkpoint via :func:`load_fleet`.  The layout is validated first
+    (:func:`validate_sharded_checkpoint`): a missing manifest or a
+    missing/damaged shard directory raises :class:`CheckpointError`
+    naming the shard, *before* any server process is forked.
+    ``kwargs`` pass through to
     :class:`~repro.runtime.fleet.ShardedFleet` (``broker``,
     ``n_build_workers``, ``namespace``, ...).  Imported lazily so the
     core package stays loadable where the runtime package's fork

@@ -22,6 +22,11 @@ one process; this package moves the expensive halves out of it:
   server processes (stable crc32 routing), with scatter/gather
   micro-batch ingest, merged telemetry
   (:func:`repro.obs.merge_snapshots`) and per-shard checkpoints.
+* :mod:`repro.runtime.supervisor` — the recovery policies the others
+  compose: :class:`RetryPolicy` (exponential backoff, full jitter),
+  :class:`CircuitBreaker` (per-ensemble failure isolation) and
+  :class:`RestartPolicy` (windowed respawn budgets behind the fleet's
+  shard supervision and the broker's watchdog).
 
 POSIX only: everything forks, nothing pickles an mp primitive.
 """
@@ -33,6 +38,8 @@ from .shm import (AttachedPack, OrphanedSegmentError, PackServedEnsemble,
 from .pool import ProcessBuildPool, WorkerCrashed, worker_context
 from .broker import BrokerClient, BuildBroker, ProcessCoordinator
 from .fleet import ShardCrashed, ShardedFleet, shard_for
+from .supervisor import (BREAKER_STATES, BreakerOpen, CircuitBreaker,
+                         RestartPolicy, RetryPolicy)
 
 __all__ = [
     "AttachedPack", "OrphanedSegmentError", "PackServedEnsemble",
@@ -42,4 +49,6 @@ __all__ = [
     "ProcessBuildPool", "WorkerCrashed", "worker_context",
     "BrokerClient", "BuildBroker", "ProcessCoordinator",
     "ShardCrashed", "ShardedFleet", "shard_for",
+    "BREAKER_STATES", "BreakerOpen", "CircuitBreaker",
+    "RestartPolicy", "RetryPolicy",
 ]

@@ -37,15 +37,20 @@ import dataclasses
 import multiprocessing as mp
 import os
 import queue
+import random
+import secrets
 import threading
 import time
 from typing import Dict, List, Optional
 
+from .. import faults
+from ..obs import default_registry
 from ..streaming.coordinator import AdmissionClosed, CoordinatorStats
 from ..streaming.worker import (REFIRE_POLICIES, RefreshHandle,
                                 RefreshWorker, _BuildConsumer)
 from . import shm
-from .pool import _worker_main
+from .pool import WorkerCrashed, _worker_main
+from .supervisor import RestartPolicy
 
 _POLL_SECONDS = 0.05
 ADMISSION_POLICIES = ("fifo", "priority")
@@ -68,7 +73,8 @@ def _pid_alive(pid: Optional[int]) -> bool:
 # ----------------------------------------------------------------------
 class _BrokerBuild:
     __slots__ = ("job_id", "key", "priority", "seq", "status", "payload",
-                 "subscribers", "worker_index", "cancel_requested")
+                 "subscribers", "worker_index", "worker_pid",
+                 "cancel_requested", "attempts", "not_before")
 
     def __init__(self, job_id, key, priority, seq, payload):
         self.job_id = job_id
@@ -79,11 +85,15 @@ class _BrokerBuild:
         self.payload = payload            # (refresher, ensemble, history,
         self.subscribers = []             #  kwargs)
         self.worker_index = None
+        self.worker_pid = None
         self.cancel_requested = False
+        self.attempts = 0                 # failed tries so far
+        self.not_before = 0.0             # backoff gate for re-admission
 
 
 def _broker_main(inbox, ports, tasks, cancel_events, max_concurrent,
-                 policy, namespace, drain_timeout) -> None:
+                 policy, namespace, drain_timeout, max_build_retries,
+                 retry_delay) -> None:
     shm.set_segment_namespace(namespace)
     builds: Dict[int, _BrokerBuild] = {}
     pending: List[int] = []
@@ -92,7 +102,7 @@ def _broker_main(inbox, ports, tasks, cancel_events, max_concurrent,
     latest_manifest: Dict[str, dict] = {}
     counters = {"n_requests": 0, "n_deduped": 0, "n_admitted": 0,
                 "n_completed": 0, "n_failed": 0, "n_cancelled": 0,
-                "max_concurrent": 0}
+                "n_retried": 0, "max_concurrent": 0}
     next_job = 0
     shutting_down = False
     deadline = None
@@ -104,23 +114,64 @@ def _broker_main(inbox, ports, tasks, cancel_events, max_concurrent,
             pass
 
     def pump():
-        while pending and len(running) < max_concurrent:
+        now = time.monotonic()
+        eligible = [j for j in pending if builds[j].not_before <= now]
+        while eligible and len(running) < max_concurrent:
             if policy == "priority":
-                job_id = min(pending, key=lambda j: (-builds[j].priority,
-                                                     builds[j].seq))
-                pending.remove(job_id)
+                job_id = min(eligible, key=lambda j: (-builds[j].priority,
+                                                      builds[j].seq))
             else:
-                job_id = pending.pop(0)
+                job_id = eligible[0]
+            eligible.remove(job_id)
+            pending.remove(job_id)
             build = builds[job_id]
             build.status = "building"
             running.append(job_id)
             counters["n_admitted"] += 1
             counters["max_concurrent"] = max(counters["max_concurrent"],
                                              len(running))
+            # The payload is retained (not handed off) so a build whose
+            # worker dies can be re-queued with backoff.
             refresher, ensemble, history, kwargs = build.payload
-            build.payload = None          # the task queue holds it now
             tasks.put((job_id, refresher, ensemble, history, kwargs,
                        True, None))
+
+    def fail_or_retry(job_id, error):
+        """Terminal failure unless the build has retry budget left."""
+        build = builds.get(job_id)
+        if build is None:
+            return
+        if (build.attempts < max_build_retries and build.subscribers
+                and not build.cancel_requested and not shutting_down
+                and build.payload is not None):
+            build.attempts += 1
+            counters["n_retried"] += 1
+            if job_id in running:
+                running.remove(job_id)
+            if build.worker_index is not None:
+                worker_jobs.pop(build.worker_index, None)
+            build.worker_index = None
+            build.worker_pid = None
+            # Exponential backoff with full jitter before re-admission.
+            ceiling = retry_delay * (2.0 ** (build.attempts - 1))
+            build.not_before = time.monotonic() \
+                + random.uniform(0.0, ceiling)
+            build.status = "queued"
+            pending.append(job_id)
+            pump()
+        else:
+            finish(job_id, "failed", error=error)
+
+    def reap_dead_workers():
+        """A SIGKILLed worker never reports back: detect it by pid and
+        fail (or retry) the build it was running."""
+        for job_id in list(running):
+            build = builds[job_id]
+            if build.worker_pid is not None \
+                    and not _pid_alive(build.worker_pid):
+                fail_or_retry(job_id, WorkerCrashed(
+                    f"build worker (pid {build.worker_pid}) died while "
+                    f"training build {job_id}"))
 
     def fan_out(build, status, replacement=None, report=None,
                 manifest=None, error=None):
@@ -176,9 +227,15 @@ def _broker_main(inbox, ports, tasks, cancel_events, max_concurrent,
             if shutting_down and (not running
                                   or time.monotonic() > deadline):
                 break
+            # Idle tick: reap SIGKILLed workers and admit any build whose
+            # backoff gate has opened.
+            reap_dead_workers()
+            pump()
             continue
         except (EOFError, OSError):
             break
+        if faults.enabled:
+            faults.point("broker.loop")
         kind = message[0]
         if kind == "submit":
             (_, port_index, request_id, key, priority, trigger_index,
@@ -245,11 +302,12 @@ def _broker_main(inbox, ports, tasks, cancel_events, max_concurrent,
             if not running:
                 break
         elif kind == "started":
-            _, job_id, worker_index, _pid = message
+            _, job_id, worker_index, worker_pid = message
             build = builds.get(job_id)
             if build is None:
                 continue
             build.worker_index = worker_index
+            build.worker_pid = worker_pid
             worker_jobs[worker_index] = job_id
             if build.cancel_requested:
                 cancel_events[worker_index].set()
@@ -259,7 +317,7 @@ def _broker_main(inbox, ports, tasks, cancel_events, max_concurrent,
                 finish(job_id, "ready", replacement=first, report=report,
                        manifest=manifest)
             elif kind == "failed":
-                finish(job_id, "failed", error=first)
+                fail_or_retry(job_id, first)
             else:
                 finish(job_id, "cancelled")
     # Drain hit its deadline or every build resolved: abandon stragglers
@@ -289,13 +347,28 @@ class BuildBroker:
                     :func:`repro.runtime.pool.worker_context` (test
                     gates; see the pool docs).
     namespace:      shm namespace for published packs.
+    max_build_retries / retry_delay: in-broker retry budget for failed
+                    builds (worker crash or build exception) — each
+                    retry re-queues after exponential backoff with full
+                    jitter over ``retry_delay``.
+    restart:        a :class:`~repro.runtime.supervisor.RestartPolicy`
+                    enabling supervision: a watchdog thread respawns a
+                    dead broker process over the **same** queues (ports
+                    re-attach on their next pump; see
+                    ``docs/robustness.md``) within the policy's budget,
+                    and respawns dead build workers unconditionally.
+                    ``None`` (default) keeps the PR-8 behaviour: broker
+                    death degrades ports to local refresh forever.
     """
 
     def __init__(self, n_ports: int = 1, n_workers: Optional[int] = None,
                  max_concurrent_builds: int = 1, policy: str = "fifo",
                  worker_context: Optional[dict] = None,
                  namespace: Optional[str] = None,
-                 drain_timeout: float = 10.0):
+                 drain_timeout: float = 10.0,
+                 max_build_retries: int = 0, retry_delay: float = 0.05,
+                 restart: Optional[RestartPolicy] = None,
+                 watchdog_interval: float = 0.05):
         if n_ports < 1:
             raise ValueError(f"n_ports must be >= 1, got {n_ports}")
         if max_concurrent_builds < 1:
@@ -314,29 +387,60 @@ class BuildBroker:
             else namespace
         self.n_workers = self.max_concurrent_builds if n_workers is None \
             else int(n_workers)
+        self.max_build_retries = int(max_build_retries)
+        self.retry_delay = float(retry_delay)
+        self._drain_timeout = float(drain_timeout)
         self._inbox = self._ctx.Queue()
         self._tasks = self._ctx.Queue()
         self._port_queues = [self._ctx.Queue() for _ in range(n_ports)]
         self._cancel_events = [self._ctx.Event()
                                for _ in range(self.n_workers)]
-        context = dict(worker_context or {})
-        self._workers = []
+        # Fork-shared: ports (in any process) read the current broker
+        # pid here to re-attach after a supervised restart.
+        self._pid_value = self._ctx.Value("i", 0)
+        self._context = dict(worker_context or {})
+        self._workers: List = []
         for index in range(self.n_workers):
-            process = self._ctx.Process(
-                target=_worker_main,
-                args=(index, self._tasks, self._inbox,
-                      self._cancel_events[index], context, self.namespace),
-                name=f"broker-build-{index}", daemon=True)
-            process.start()
+            self._spawn_worker(index)
+        self._spawn_broker()
+        self._closed = False
+        self._restart_policy = restart
+        self._restarted = threading.Event()
+        self.n_restarts = 0
+        self.n_worker_restarts = 0
+        self.quarantined = False
+        self._stop_watchdog = threading.Event()
+        self._watchdog: Optional[threading.Thread] = None
+        if restart is not None:
+            self._watchdog_interval = float(watchdog_interval)
+            self._watchdog = threading.Thread(target=self._supervise,
+                                              name="broker-watchdog",
+                                              daemon=True)
+            self._watchdog.start()
+
+    def _spawn_worker(self, index: int) -> None:
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(index, self._tasks, self._inbox,
+                  self._cancel_events[index], self._context,
+                  self.namespace),
+            name=f"broker-build-{index}", daemon=True)
+        process.start()
+        if index < len(self._workers):
+            self._workers[index] = process
+        else:
             self._workers.append(process)
+
+    def _spawn_broker(self) -> None:
         self._process = self._ctx.Process(
             target=_broker_main,
             args=(self._inbox, self._port_queues, self._tasks,
                   self._cancel_events, self.max_concurrent_builds,
-                  policy, self.namespace, drain_timeout),
+                  self.policy, self.namespace, self._drain_timeout,
+                  self.max_build_retries, self.retry_delay),
             name="refresh-broker", daemon=True)
         self._process.start()
-        self._closed = False
+        self._pid_value.value = self._process.pid
 
     @property
     def pid(self) -> Optional[int]:
@@ -344,6 +448,65 @@ class BuildBroker:
 
     def alive(self) -> bool:
         return self._process.exitcode is None and _pid_alive(self.pid)
+
+    # -- supervision ---------------------------------------------------
+    def restart(self) -> bool:
+        """Respawn a dead broker process over the existing queues.
+
+        The new broker starts with empty admission state; in-flight
+        requests were already resolved ``discarded`` by each port's
+        degrade path, and ports re-attach (via the shared pid value) on
+        their next pump.  Returns True when a restart happened.
+        """
+        if self._closed or self._process.exitcode is None:
+            return False
+        self._spawn_broker()
+        self.n_restarts += 1
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("repro_restarts_total",
+                             component="broker").inc()
+        self._restarted.set()
+        return True
+
+    def wait_restarted(self, timeout: Optional[float] = None) -> bool:
+        """Block until the watchdog has restarted the broker at least
+        once (test hook; event-gated, no polling)."""
+        return self._restarted.wait(timeout)
+
+    def _supervise(self) -> None:
+        """Watchdog: respawn a dead broker (within the restart budget)
+        and any dead build worker."""
+        while not self._stop_watchdog.wait(self._watchdog_interval):
+            if self._closed:
+                return
+            if self._process.exitcode is not None and not self.quarantined:
+                if self._restart_policy.allow():
+                    self.restart()
+                else:
+                    self.quarantined = True
+            for index, process in enumerate(self._workers):
+                if process.exitcode is not None:
+                    self._spawn_worker(index)
+                    self.n_worker_restarts += 1
+                    registry = default_registry()
+                    if registry.enabled:
+                        registry.counter("repro_restarts_total",
+                                         component="build_worker").inc()
+
+    def health(self) -> dict:
+        """Supervision view: liveness plus restart history.
+
+        ``recent_restarts`` counts restarts within the policy window —
+        the signal health views use to stay ``degraded`` for a while
+        after a recovery instead of silently healing.
+        """
+        recent = 0 if self._restart_policy is None \
+            else self._restart_policy.recent()
+        return {"alive": self.alive(), "quarantined": self.quarantined,
+                "restarts": self.n_restarts,
+                "recent_restarts": recent,
+                "worker_restarts": self.n_worker_restarts}
 
     def port(self, index: int) -> "BrokerPort":
         """The ``index``-th server port (call in, or before forking, the
@@ -369,6 +532,9 @@ class BuildBroker:
         if self._closed:
             return
         self._closed = True
+        self._stop_watchdog.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=2.0)
         if self._process.exitcode is None:
             try:
                 self._inbox.put(("shutdown",))
@@ -420,11 +586,18 @@ class BrokerPort:
         self._inbox = broker._inbox
         self._queue = broker._port_queues[self.index]
         self._broker_pid = broker.pid
+        self._pid_value = broker._pid_value
         self._lock = threading.Lock()
-        self._pending: Dict[int, _PendingRequest] = {}
-        self._stats_replies: Dict[int, tuple] = {}
+        self._pending: Dict[tuple, _PendingRequest] = {}
+        self._stats_replies: Dict[tuple, tuple] = {}
         self._next_request = 0
+        # Request ids carry a per-port-instance token: a respawned shard
+        # builds a fresh port over the same queue, and the token keeps
+        # any straggler reply addressed to the dead incarnation from
+        # resolving one of the new port's requests.
+        self._token = secrets.token_hex(4)
         self.degraded = False
+        self.n_reattached = 0
 
     def alive(self) -> bool:
         return not self.degraded and _pid_alive(self._broker_pid)
@@ -432,14 +605,14 @@ class BrokerPort:
     def send(self, message) -> None:
         self._inbox.put(message)
 
-    def allocate(self, client, handle) -> int:
+    def allocate(self, client, handle) -> tuple:
         with self._lock:
-            request_id = self._next_request
+            request_id = (self._token, self._next_request)
             self._next_request += 1
             self._pending[request_id] = _PendingRequest(client, handle)
         return request_id
 
-    def forget(self, request_id: int) -> None:
+    def forget(self, request_id: tuple) -> None:
         with self._lock:
             self._pending.pop(request_id, None)
 
@@ -481,6 +654,27 @@ class BrokerPort:
                                            error)
         if not self.degraded and not _pid_alive(self._broker_pid):
             self._degrade()
+        if self.degraded:
+            self._probe_broker()
+
+    def _probe_broker(self) -> None:
+        """Re-attach to a supervised broker restart.
+
+        The owner publishes the new broker pid through the fork-shared
+        value; a degraded port (its pendings already resolved
+        ``discarded``) that sees a *new, live* pid flips back to remote
+        submission instead of degrading forever.
+        """
+        current = self._pid_value.value
+        if current == self._broker_pid or not _pid_alive(current):
+            return
+        with self._lock:
+            self._broker_pid = current
+            self.degraded = False
+            self.n_reattached += 1
+        registry = default_registry()
+        if registry.enabled:
+            registry.counter("repro_broker_reattached_total").inc()
 
     def stats(self, timeout: float = 2.0) -> Optional[tuple]:
         """Synchronous admission counters from the broker (None when the
@@ -488,7 +682,7 @@ class BrokerPort:
         if not self.alive():
             return None
         with self._lock:
-            request_id = self._next_request
+            request_id = (self._token, self._next_request)
             self._next_request += 1
         try:
             self.send(("stats", self.index, request_id))
@@ -530,8 +724,13 @@ class BrokerClient(_BuildConsumer):
 
     # -- degraded-mode plumbing ---------------------------------------
     def _local(self) -> Optional[RefreshWorker]:
+        fallback = self._fallback
+        if fallback is not None and fallback.attached_handle is not None:
+            # A local build started during a degraded window runs to
+            # completion even if the port re-attached meanwhile.
+            return fallback
         if self.coordinator.port.degraded:
-            if self._fallback is None:
+            if fallback is None:
                 self._fallback = RefreshWorker(self.refresher,
                                                on_refire=self.on_refire)
             return self._fallback
@@ -736,6 +935,7 @@ class ProcessCoordinator:
                 "n_completed": stats.n_completed,
                 "n_failed": stats.n_failed,
                 "n_cancelled": stats.n_cancelled,
+                "n_retried": stats.n_retried,
                 "max_concurrent": stats.max_concurrent,
             },
         }

@@ -40,10 +40,13 @@ import os
 import threading
 import time
 import zlib
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Set
 
-from ..obs import MetricsRegistry, merge_snapshots, set_default_registry
+from .. import faults
+from ..obs import (MetricsRegistry, default_registry, merge_snapshots,
+                   set_default_registry)
 from . import shm
+from .supervisor import RestartPolicy
 
 SHARDED_MANIFEST_NAME = "sharded.json"
 SHARDED_FORMAT_VERSION = 1
@@ -86,6 +89,14 @@ def _server_main(index: int, conn, fleet_factory, port,
         except (EOFError, OSError):
             break
         op, args = message[0], message[1:]
+        if faults.enabled:
+            faults.point("fleet.shard.op")
+            if op in ("update", "update_batch", "update_many",
+                      "update_coalesced"):
+                # A separate point for scoring traffic only, so chaos
+                # schedules can pin "crash during the k-th update" without
+                # counting warm-ups, checkpoints or telemetry probes.
+                faults.point("fleet.shard.update")
         if op == "shutdown":
             try:
                 fleet.shutdown()
@@ -177,13 +188,31 @@ class ShardedFleet:
     timeout:       per-request reply timeout in seconds; a shard that
                    neither replies nor dies within it raises
                    :class:`ShardCrashed`.
+    restart:       a :class:`~repro.runtime.supervisor.RestartPolicy`
+                   enabling supervision: a crashed shard is respawned —
+                   from ``shard_<i>/`` of the last :meth:`checkpoint`
+                   (or :meth:`restore`) directory when one is known,
+                   else by re-running ``fleet_factory`` — and the
+                   failing request is retried once on the fresh shard.
+                   A shard exceeding the per-shard budget is
+                   **quarantined** (its requests raise
+                   :class:`ShardCrashed`; :meth:`health` reports
+                   ``degraded``).  ``None`` (default) keeps crashes
+                   terminal as before.
+    refresher_factory / detector_factory: used only for
+                   checkpoint-based respawns (passed to
+                   :func:`~repro.core.persistence.load_fleet`);
+                   :meth:`restore` wires its own through.
     """
 
     def __init__(self, fleet_factory: Callable[[int, object], object],
                  n_shards: int = 2, broker=None,
                  n_build_workers: Optional[int] = None,
                  max_concurrent_builds: int = 1, policy: str = "fifo",
-                 namespace: Optional[str] = None, timeout: float = 60.0):
+                 namespace: Optional[str] = None, timeout: float = 60.0,
+                 restart: Optional[RestartPolicy] = None,
+                 refresher_factory: Optional[Callable[[], object]] = None,
+                 detector_factory=None):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if "fork" not in mp.get_all_start_methods():
@@ -197,28 +226,28 @@ class ShardedFleet:
         self._lock = threading.Lock()
         self._closed = False
         self._owns_broker = False
+        self._fleet_factory = fleet_factory
+        self._restart = restart
+        self._restart_policies: Dict[int, RestartPolicy] = {}
+        self._restart_counts: Dict[int, int] = {}
+        self._restart_log: List[float] = []
+        self._quarantined: Set[int] = set()
+        self._last_checkpoint: Optional[str] = None
+        self._refresher_factory = refresher_factory
+        self._detector_factory = detector_factory
         self.broker = broker
         if broker is None and n_build_workers is not None:
             from .broker import BuildBroker
             self.broker = BuildBroker(
                 n_ports=self.n_shards, n_workers=n_build_workers,
                 max_concurrent_builds=max_concurrent_builds,
-                policy=policy, namespace=self.namespace)
+                policy=policy, namespace=self.namespace,
+                restart=None if restart is None else restart.clone())
             self._owns_broker = True
         self._shards: List[_Shard] = []
         try:
             for index in range(self.n_shards):
-                port = self.broker.port(index) if self.broker is not None \
-                    else None
-                parent_conn, child_conn = self._ctx.Pipe()
-                process = self._ctx.Process(
-                    target=_server_main,
-                    args=(index, child_conn, fleet_factory, port,
-                          self.namespace),
-                    name=f"fleet-shard-{index}", daemon=True)
-                process.start()
-                child_conn.close()
-                shard = _Shard(index, process, parent_conn)
+                shard = self._spawn_shard(index, fleet_factory)
                 kind, payload = self._recv(shard)
                 if kind == "fatal":
                     raise payload
@@ -230,6 +259,17 @@ class ShardedFleet:
             if self._owns_broker:
                 self.broker.shutdown()
             raise
+
+    def _spawn_shard(self, index: int, factory) -> _Shard:
+        port = self.broker.port(index) if self.broker is not None else None
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_server_main,
+            args=(index, child_conn, factory, port, self.namespace),
+            name=f"fleet-shard-{index}", daemon=True)
+        process.start()
+        child_conn.close()
+        return _Shard(index, process, parent_conn)
 
     # ------------------------------------------------------------------
     # Pipe plumbing
@@ -252,30 +292,147 @@ class ShardedFleet:
                 f"fleet shard {shard.index} (pid {shard.pid}) closed "
                 f"its pipe mid-reply") from exc
 
+    def _ensure_up_locked(self, index: int) -> None:
+        if index in self._quarantined:
+            raise ShardCrashed(
+                f"fleet shard {index} is quarantined after exhausting "
+                f"its restart budget")
+
+    def _revive_locked(self, index: int, error: ShardCrashed) -> _Shard:
+        """Respawn a crashed shard within its restart budget, or
+        quarantine it.  Caller holds ``self._lock``."""
+        if self._restart is None or self._closed:
+            raise error
+        policy = self._restart_policies.setdefault(index,
+                                                   self._restart.clone())
+        registry = default_registry()
+        if not policy.allow():
+            self._quarantined.add(index)
+            if registry.enabled:
+                registry.counter("repro_shard_quarantined_total").inc()
+            raise ShardCrashed(
+                f"fleet shard {index} quarantined after "
+                f"{policy.max_restarts} restarts within "
+                f"{policy.window:.0f}s") from error
+        old = self._shards[index]
+        if old.process.exitcode is None:
+            # Wedged, not dead (reply timeout): make it dead before
+            # handing its slice to a replacement.
+            old.process.kill()
+            old.process.join(5.0)
+        try:
+            old.conn.close()
+        except OSError:
+            pass
+        shard = self._spawn_shard(index, self._respawn_factory())
+        kind, payload = self._recv(shard)
+        if kind == "fatal":
+            self._quarantined.add(index)
+            shard.process.join(1.0)
+            raise payload
+        self._shards[index] = shard
+        self._restart_counts[index] = self._restart_counts.get(index, 0) + 1
+        self._restart_log.append(time.monotonic())
+        if registry.enabled:
+            registry.counter("repro_restarts_total", component="shard").inc()
+        return shard
+
+    def _respawn_factory(self):
+        """Factory for a replacement shard: reload the shard's slice of
+        the last known checkpoint when there is one (crash-consistent —
+        updates applied after that checkpoint are lost, like any
+        restore), else rebuild from the original factory."""
+        checkpoint = self._last_checkpoint
+        if checkpoint is None:
+            return self._fleet_factory
+        refresher_factory = self._refresher_factory
+        detector_factory = self._detector_factory
+
+        def factory(index, coordinator):
+            from ..core.persistence import load_fleet
+            return load_fleet(
+                os.path.join(checkpoint, f"shard_{index}"),
+                refresher_factory=refresher_factory,
+                detector_factory=detector_factory,
+                coordinator=coordinator)
+
+        return factory
+
     def _request(self, index: int, op: str, *args):
         with self._lock:
             if self._closed:
                 raise RuntimeError("sharded fleet is shut down")
+            self._ensure_up_locked(index)
             shard = self._shards[index]
-            shard.conn.send((op,) + args)
-            kind, payload = self._recv(shard)
+            try:
+                shard.conn.send((op,) + args)
+                kind, payload = self._recv(shard)
+            except ShardCrashed as exc:
+                # Supervised path: respawn and retry the request once on
+                # the fresh shard (raises when unsupervised/quarantined).
+                shard = self._revive_locked(index, exc)
+                shard.conn.send((op,) + args)
+                kind, payload = self._recv(shard)
+            except (BrokenPipeError, OSError) as exc:
+                crash = ShardCrashed(
+                    f"fleet shard {index} (pid {shard.pid}) closed its "
+                    f"pipe mid-request")
+                crash.__cause__ = exc
+                shard = self._revive_locked(index, crash)
+                shard.conn.send((op,) + args)
+                kind, payload = self._recv(shard)
         if kind == "error":
             raise payload
         return payload
 
-    def _scatter(self, ops: Dict[int, tuple]) -> Dict[int, object]:
+    def _scatter(self, ops: Dict[int, tuple],
+                 skip_quarantined: bool = False) -> Dict[int, object]:
         """Send every shard its request, then gather every reply —
-        shards execute their slices concurrently."""
+        shards execute their slices concurrently.  Crashed shards are
+        revived (within budget) and their ops retried after the healthy
+        replies are in, so one dead shard never loses another's reply."""
         with self._lock:
             if self._closed:
                 raise RuntimeError("sharded fleet is shut down")
             indices = sorted(ops)
+            if skip_quarantined:
+                indices = [i for i in indices
+                           if i not in self._quarantined]
+            else:
+                for index in indices:
+                    self._ensure_up_locked(index)
+            crashed: Dict[int, ShardCrashed] = {}
+            sent: List[int] = []
             for index in indices:
-                self._shards[index].conn.send(ops[index])
-            replies = {}
-            errors = []
-            for index in indices:
-                kind, payload = self._recv(self._shards[index])
+                try:
+                    self._shards[index].conn.send(ops[index])
+                    sent.append(index)
+                except (BrokenPipeError, OSError):
+                    crashed[index] = ShardCrashed(
+                        f"fleet shard {index} closed its pipe mid-request")
+            replies: Dict[int, object] = {}
+            errors: List[BaseException] = []
+            for index in sent:
+                try:
+                    kind, payload = self._recv(self._shards[index])
+                except ShardCrashed as exc:
+                    crashed[index] = exc
+                    continue
+                if kind == "error":
+                    errors.append(payload)
+                else:
+                    replies[index] = payload
+            for index, exc in crashed.items():
+                if skip_quarantined and self._restart is None:
+                    continue
+                try:
+                    shard = self._revive_locked(index, exc)
+                except ShardCrashed:
+                    if skip_quarantined:
+                        continue
+                    raise
+                shard.conn.send(ops[index])
+                kind, payload = self._recv(shard)
                 if kind == "error":
                     errors.append(payload)
                 else:
@@ -373,7 +530,8 @@ class ShardedFleet:
         dropped).  A ``shards`` section records the per-process split.
         """
         replies = self._scatter({index: ("telemetry",)
-                                 for index in range(self.n_shards)})
+                                 for index in range(self.n_shards)},
+                                skip_quarantined=True)
         views = [replies[index] for index in sorted(replies)]
         totals: Dict[str, int] = {}
         for view in views:
@@ -392,8 +550,60 @@ class ShardedFleet:
                                         for view in views]),
             "shards": [{"index": shard.index, "pid": shard.pid,
                         "totals": replies[shard.index]["totals"]}
-                       for shard in self._shards],
+                       for shard in self._shards
+                       if shard.index in replies],
+            "supervision": self._supervision_view(),
         }
+
+    def _supervision_view(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "restarts": dict(self._restart_counts),
+                "quarantined": sorted(self._quarantined),
+                "broker": None if self.broker is None
+                else getattr(self.broker, "health", lambda: None)(),
+            }
+
+    def health(self) -> Dict[str, object]:
+        """Supervision health: ``ok`` or ``degraded`` plus the evidence.
+
+        ``degraded`` means the fleet is serving but something needed (or
+        needs) attention: a shard restarted within the restart window, a
+        shard or the broker is quarantined, or the broker is dead.
+        Recoveries surface here — and through ``healthz`` on a
+        :class:`~repro.serving.server.DetectionServer` — instead of
+        healing silently.
+        """
+        now = time.monotonic()
+        window = self._restart.window if self._restart is not None \
+            else float("inf")
+        with self._lock:
+            recent = sum(1 for t in self._restart_log
+                         if now - t <= window)
+            quarantined = sorted(self._quarantined)
+            restarts = dict(self._restart_counts)
+            shards = [{"index": shard.index, "pid": shard.pid,
+                       "status": "quarantined" if shard.index
+                       in self._quarantined else
+                       ("up" if shard.process.exitcode is None
+                        else "down"),
+                       "restarts": self._restart_counts.get(shard.index,
+                                                            0)}
+                      for shard in self._shards]
+        broker_health = None
+        if self.broker is not None:
+            health = getattr(self.broker, "health", None)
+            broker_health = health() if health is not None else {
+                "alive": self.broker.alive()}
+        degraded = bool(quarantined) or recent > 0 or (
+            broker_health is not None
+            and (not broker_health.get("alive", True)
+                 or broker_health.get("quarantined", False)
+                 or broker_health.get("recent_restarts", 0) > 0))
+        return {"state": "degraded" if degraded else "ok",
+                "shards": shards, "restarts": restarts,
+                "recent_restarts": recent, "quarantined": quarantined,
+                "broker": broker_health}
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -420,6 +630,8 @@ class ShardedFleet:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        # Supervised respawns reload from the freshest checkpoint.
+        self._last_checkpoint = directory
         return path
 
     @classmethod
@@ -434,9 +646,15 @@ class ShardedFleet:
         pass through to the constructor (``broker``,
         ``n_build_workers``, ...); the shard count always comes from the
         manifest.
+
+        The layout is validated up front
+        (:func:`repro.core.persistence.validate_sharded_checkpoint`):
+        a missing manifest or a missing/partial ``shard_<i>/`` raises
+        :class:`~repro.core.persistence.CheckpointError` naming the
+        shard before any server process forks.
         """
-        with open(os.path.join(directory, SHARDED_MANIFEST_NAME)) as fh:
-            manifest = json.load(fh)
+        from ..core.persistence import validate_sharded_checkpoint
+        manifest = validate_sharded_checkpoint(directory)
         if manifest["format_version"] > SHARDED_FORMAT_VERSION:
             raise ValueError(
                 f"sharded checkpoint format "
@@ -451,7 +669,11 @@ class ShardedFleet:
                 detector_factory=detector_factory,
                 coordinator=coordinator)
 
-        return cls(factory, n_shards=manifest["n_shards"], **kwargs)
+        kwargs.setdefault("refresher_factory", refresher_factory)
+        kwargs.setdefault("detector_factory", detector_factory)
+        fleet = cls(factory, n_shards=manifest["n_shards"], **kwargs)
+        fleet._last_checkpoint = directory
+        return fleet
 
     # ------------------------------------------------------------------
     # Lifecycle

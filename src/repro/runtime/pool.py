@@ -40,6 +40,7 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from .. import faults
 from ..core.ensemble import TrainingCancelled
 from . import shm
 
@@ -100,6 +101,8 @@ def _worker_main(index: int, tasks, results, cancel_event, context,
         cancel_event.clear()
         results.put(("started", job_id, index, os.getpid()))
         try:
+            if faults.enabled:
+                faults.point("pool.build")
             call_kwargs = dict(kwargs)
             if _accepts_cancel(refresher.build):
                 call_kwargs["cancel"] = cancel_event

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..core.config import CAEConfig
 from ..core.fused import FusedEnsembleScorer, fingerprint_arrays
 
@@ -173,6 +174,8 @@ def publish_pack(ensemble, generation: int = 0,
     must eventually :func:`unlink_pack` it; until then any process may
     :func:`attach_pack` the manifest.
     """
+    if faults.enabled:
+        faults.point("shm.publish")
     sweep_orphans(namespace)
     scorer = ensemble.fused_scorer(dtype=dtype) \
         if hasattr(ensemble, "fused_scorer") else ensemble
@@ -199,6 +202,10 @@ def publish_pack(ensemble, generation: int = 0,
             view = np.ndarray(array.shape, dtype=array.dtype,
                               buffer=segment.buf, offset=entry["offset"])
             view[...] = array
+        if faults.enabled and faults.point("shm.publish.torn") == "torn":
+            # Simulate a torn publish: corrupt one payload byte so the
+            # manifest fingerprint no longer matches the segment.
+            segment.buf[table[0]["offset"]] ^= 0xFF
         scaler = getattr(ensemble, "scaler", None)
         manifest = {
             "segment": name,
@@ -282,6 +289,8 @@ def attach_pack(manifest: dict, registry=None,
     :class:`TornPackError` when the mapped bytes do not hash to the
     manifest fingerprint (a partial publish).
     """
+    if faults.enabled:
+        faults.point("shm.attach")
     sweep_orphans()
     try:
         segment = shared_memory.SharedMemory(name=manifest["segment"])

@@ -1,0 +1,237 @@
+"""Supervision policies: retry/backoff, circuit breakers, restart budgets.
+
+The recovery half of the self-healing runtime.  Three small, pure,
+independently testable policies that the runtime and streaming layers
+compose:
+
+* :class:`RetryPolicy` — exponential backoff with **full jitter**
+  (AWS-style: ``uniform(0, min(cap, base * 2**attempt))``), the
+  standard cure for retry synchronisation.  Seedable for deterministic
+  tests; ``jitter=False`` gives the bare exponential curve.
+* :class:`CircuitBreaker` — per-key failure isolation:
+  ``closed -> open`` after N *consecutive* failures, ``open ->
+  half_open`` after a cooldown (one probe admitted), ``half_open ->
+  closed`` on probe success or back to ``open`` on probe failure.
+  Protects the build pool from an ensemble whose refresher fails
+  deterministically: retrying it forever would burn the whole fleet's
+  build budget.
+* :class:`RestartPolicy` — a windowed restart budget for process
+  supervision: allow at most ``max_restarts`` within ``window``
+  seconds, then quarantine.  Distinguishes a one-off SIGKILL (respawn,
+  keep serving) from a crash loop (stop respawning, surface
+  ``degraded``).
+
+All three take an injectable ``clock`` so tests drive state machines
+with virtual time — no sleeps.
+
+>>> policy = RetryPolicy(max_retries=3, base_delay=0.1, max_delay=1.0,
+...                      jitter=False)
+>>> [policy.delay_for(a) for a in range(4)]
+[0.1, 0.2, 0.4, 0.8]
+>>> breaker = CircuitBreaker(failure_threshold=2, cooldown=10.0,
+...                          clock=lambda: 100.0)
+>>> breaker.record_failure(); breaker.record_failure(); breaker.state
+'open'
+>>> breaker.allow()                    # cooldown not elapsed at t=100
+False
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, List, Optional
+
+__all__ = ["BreakerOpen", "CircuitBreaker", "RestartPolicy", "RetryPolicy",
+           "BREAKER_STATES"]
+
+#: Gauge encoding of breaker states (``repro_breaker_state``).
+BREAKER_STATES = {"closed": 0, "open": 1, "half_open": 2}
+
+
+class BreakerOpen(RuntimeError):
+    """A submission was refused because its circuit breaker is open."""
+
+
+class RetryPolicy:
+    """Exponential backoff with optional full jitter.
+
+    ``delay_for(attempt)`` is the wait before retry ``attempt + 1``
+    (attempt 0 = first retry).  With ``jitter=True`` the delay is drawn
+    uniformly from ``[0, min(max_delay, base_delay * 2**attempt)]`` —
+    "full jitter", which de-synchronises retry storms.  A ``seed``
+    makes the draw sequence deterministic.
+
+    >>> RetryPolicy(max_retries=2, base_delay=1.0, max_delay=3.0,
+    ...             jitter=False).delay_for(5)
+    3.0
+    >>> p = RetryPolicy(max_retries=2, base_delay=1.0, seed=7)
+    >>> q = RetryPolicy(max_retries=2, base_delay=1.0, seed=7)
+    >>> [p.delay_for(a) for a in range(3)] == [q.delay_for(a) for a in range(3)]
+    True
+    >>> all(0.0 <= p.delay_for(0) <= 1.0 for _ in range(50))
+    True
+    """
+
+    def __init__(self, max_retries: int = 3, base_delay: float = 0.05,
+                 max_delay: float = 2.0, jitter: bool = True,
+                 seed: Optional[int] = None):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        self.max_retries = int(max_retries)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.jitter = bool(jitter)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry ``attempt + 1`` (0-based)."""
+        ceiling = min(self.max_delay,
+                      self.base_delay * (2.0 ** max(0, int(attempt))))
+        if not self.jitter:
+            return ceiling
+        with self._lock:
+            return self._rng.uniform(0.0, ceiling)
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe.
+
+    Thread-safe.  ``allow()`` answers "may a new attempt start now?"
+    and performs the ``open -> half_open`` transition when the cooldown
+    has elapsed — the caller that gets ``True`` in half-open state owns
+    the probe; concurrent callers are refused until the probe resolves
+    via :meth:`record_success` / :meth:`record_failure`.
+
+    >>> t = [0.0]
+    >>> b = CircuitBreaker(failure_threshold=2, cooldown=5.0,
+    ...                    clock=lambda: t[0])
+    >>> b.allow(), b.state
+    (True, 'closed')
+    >>> b.record_failure(); b.record_failure(); b.state
+    'open'
+    >>> b.allow()
+    False
+    >>> t[0] = 6.0
+    >>> b.allow(), b.state                  # cooldown elapsed: probe
+    (True, 'half_open')
+    >>> b.allow()                           # one probe at a time
+    False
+    >>> b.record_success(); b.state
+    'closed'
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Optional[Callable[[str], None]] = None):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _transition_locked(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            if self._on_transition is not None:
+                self._on_transition(state)
+
+    def allow(self) -> bool:
+        """True when a new attempt may start (claims the probe when
+        transitioning ``open -> half_open``)."""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.cooldown:
+                    self._transition_locked("half_open")
+                    return True
+                return False
+            return False                       # half_open: probe in flight
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._transition_locked("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == "half_open":
+                # Failed probe: straight back to open, restart cooldown.
+                self._opened_at = self._clock()
+                self._transition_locked("open")
+                return
+            self._consecutive_failures += 1
+            if (self._state == "closed"
+                    and self._consecutive_failures >= self.failure_threshold):
+                self._opened_at = self._clock()
+                self._transition_locked("open")
+
+
+class RestartPolicy:
+    """Windowed restart budget: respawn freely until the budget trips.
+
+    ``allow()`` records a restart attempt and answers whether it may
+    proceed: at most ``max_restarts`` within the trailing ``window``
+    seconds.  A refusal is the quarantine signal — the supervisor stops
+    respawning and surfaces the component as degraded.  Each supervised
+    component gets its **own** policy instance (budgets are not meant
+    to be shared); :meth:`clone` makes that convenient.
+
+    >>> t = [0.0]
+    >>> p = RestartPolicy(max_restarts=2, window=60.0, clock=lambda: t[0])
+    >>> p.allow(), p.allow(), p.allow()
+    (True, True, False)
+    >>> t[0] = 120.0                        # window slid past both
+    >>> p.allow()
+    True
+    """
+
+    def __init__(self, max_restarts: int = 3, window: float = 300.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {max_restarts}")
+        self.max_restarts = int(max_restarts)
+        self.window = float(window)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._attempts: List[float] = []
+
+    def clone(self) -> "RestartPolicy":
+        """A fresh policy with the same parameters and empty history."""
+        return RestartPolicy(self.max_restarts, self.window, self._clock)
+
+    def allow(self) -> bool:
+        """Record a restart attempt; True when within budget."""
+        now = self._clock()
+        with self._lock:
+            cutoff = now - self.window
+            self._attempts = [t for t in self._attempts if t > cutoff]
+            if len(self._attempts) >= self.max_restarts:
+                return False
+            self._attempts.append(now)
+            return True
+
+    def recent(self) -> int:
+        """Restarts recorded within the trailing window (health views)."""
+        now = self._clock()
+        with self._lock:
+            cutoff = now - self.window
+            self._attempts = [t for t in self._attempts if t > cutoff]
+            return len(self._attempts)

@@ -8,22 +8,28 @@ Concurrent updates for different streams that share an ensemble are
 coalesced into single fused batched scoring calls — bit-identical to
 serial per-stream calls, at a fraction of the dispatch cost.  The
 bounded request queue applies explicit ``overloaded`` backpressure,
-``metrics``/``healthz`` expose the obs registry and refresh admission
-state, and shutdown drains: every admitted request is answered and the
-fleet is checkpointed.
+``metrics``/``healthz`` expose the obs registry, refresh admission
+state and the fleet's supervision health (``degraded`` when shards are
+quarantined or restarts are recent), per-request deadlines answer
+``timeout`` instead of wedging a connection behind a respawning shard,
+and shutdown drains: every admitted request is answered and the fleet
+is checkpointed.  :class:`ServingClient` optionally retries
+``overloaded``/``draining`` with exponential backoff and full jitter
+and bounds each request with a deadline (:class:`ServingTimeout`).
 
 See ``docs/serving.md`` for the protocol, operational guarantees and a
-quickstart.
+quickstart, and ``docs/robustness.md`` for the failure-mode matrix.
 """
 
-from .client import ServingClient
+from .client import RETRYABLE_STATUSES, ServingClient, ServingTimeout
 from .protocol import (MAX_FRAME_BYTES, FrameError, decode_payload,
                        encode_frame, read_frame, render_update,
                        split_frames, write_frame)
 from .server import DetectionServer, ServerClosed
 
 __all__ = [
-    "DetectionServer", "FrameError", "MAX_FRAME_BYTES", "ServerClosed",
-    "ServingClient", "decode_payload", "encode_frame", "read_frame",
+    "DetectionServer", "FrameError", "MAX_FRAME_BYTES",
+    "RETRYABLE_STATUSES", "ServerClosed", "ServingClient",
+    "ServingTimeout", "decode_payload", "encode_frame", "read_frame",
     "render_update", "split_frames", "write_frame",
 ]

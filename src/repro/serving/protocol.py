@@ -16,9 +16,11 @@ Request shapes (``op`` selects the handler; see ``docs/serving.md``)::
     {"op": "telemetry"}                    # the fleet's one-dict view
 
 Every response carries ``status``: ``"ok"``, ``"overloaded"`` (bounded
-queue full — retry with backoff), ``"draining"`` (server shutting down)
-or ``"error"`` (malformed request or per-stream failure, with
-``error``).  Scoring responses carry ``results``: one rendered
+queue full — retry with backoff), ``"draining"`` (server shutting
+down), ``"timeout"`` (the server's per-request deadline expired before
+scoring finished — the request was admitted but its result dropped) or
+``"error"`` (malformed request or per-stream failure, with ``error``).
+Scoring responses carry ``results``: one rendered
 :class:`~repro.streaming.engine.StreamUpdate` per observation.
 
 The pure helpers below are the protocol's whole surface — the asyncio

@@ -61,6 +61,7 @@ from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
+from .. import faults
 from ..metrics.events import fleet_refresh_report_from_registry
 from ..obs import default_registry, render_prometheus
 from .protocol import (FrameError, read_frame, render_update,
@@ -88,7 +89,8 @@ class _ServingTelemetry:
         self.responses = {
             status: registry.counter("repro_serving_responses_total",
                                      status=status)
-            for status in ("ok", "overloaded", "draining", "error")}
+            for status in ("ok", "overloaded", "draining", "timeout",
+                           "error")}
         self.request_seconds = registry.histogram(
             "repro_serving_request_seconds")
         self.queue_depth = registry.gauge("repro_serving_queue_depth")
@@ -146,6 +148,14 @@ class DetectionServer:
                       reports more than this many queued builds,
                       scoring requests are refused as ``overloaded``
                       (admission-state backpressure).
+    request_timeout:  when set, a per-request deadline in seconds: a
+                      scoring request still unanswered after this long
+                      (e.g. a wedged shard being respawned under it)
+                      returns ``{"status": "timeout"}`` instead of
+                      blocking its connection forever.  The underlying
+                      flush keeps running — a late result is simply
+                      dropped; every admitted request is answered
+                      exactly once either way.
     checkpoint_dir:   when set, :meth:`stop` checkpoints the fleet here
                       after the drain.
     registry:         metrics registry (``None`` binds the process
@@ -156,12 +166,16 @@ class DetectionServer:
                  coalesce: bool = True, coalesce_window: float = 0.0,
                  max_coalesce: int = 1024, max_pending: int = 4096,
                  max_queued_builds: Optional[int] = None,
+                 request_timeout: Optional[float] = None,
                  checkpoint_dir: Optional[str] = None, registry=None):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         if max_coalesce < 1:
             raise ValueError(f"max_coalesce must be >= 1, "
                              f"got {max_coalesce}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(f"request_timeout must be > 0, "
+                             f"got {request_timeout}")
         self.fleet = fleet
         self.host = host
         self._requested_port = port
@@ -170,6 +184,8 @@ class DetectionServer:
         self.max_coalesce = int(max_coalesce)
         self.max_pending = int(max_pending)
         self.max_queued_builds = max_queued_builds
+        self.request_timeout = None if request_timeout is None \
+            else float(request_timeout)
         self.checkpoint_dir = checkpoint_dir
         self._registry = registry if registry is not None \
             else default_registry()
@@ -407,7 +423,17 @@ class DetectionServer:
             self._obs.queue_depth.set(len(self._queue))
         self._notify_depth()
         self._queue_event.set()
-        updates = await pending.future
+        if self.request_timeout is None:
+            updates = await pending.future
+        else:
+            try:
+                updates = await asyncio.wait_for(pending.future,
+                                                 self.request_timeout)
+            except asyncio.TimeoutError:
+                # wait_for cancelled the future; the dispatcher skips
+                # done futures, so a late result is dropped, not raised.
+                return {"status": "timeout",
+                        "timeout": self.request_timeout}
         if self._obs.enabled:
             self._obs.request_seconds.observe(
                 time.perf_counter() - pending.enqueued)
@@ -461,13 +487,29 @@ class DetectionServer:
 
     def _healthz(self) -> dict:
         coordinator = getattr(self.fleet, "coordinator", None)
+        fleet_health = None
+        health = getattr(self.fleet, "health", None)
+        if callable(health):
+            try:
+                fleet_health = health()
+            except Exception as exc:            # noqa: BLE001 — health
+                #                                 must answer even when
+                #                                 the fleet is wedged
+                fleet_health = {"state": "degraded",
+                                "error": f"{type(exc).__name__}: {exc}"}
+        state = "ok"
+        if self._stopped or (fleet_health is not None
+                             and fleet_health.get("state") != "ok"):
+            state = "degraded"
         return {
             "status": "ok",
+            "state": state,
             "healthy": not self._stopped,
             "draining": self._draining,
             "queue_depth": len(self._queue),
             "coalesce": self.coalesce,
             "max_pending": self.max_pending,
+            "fleet": fleet_health,
             "coordinator": dataclasses.asdict(coordinator.stats())
             if coordinator is not None else None,
         }
@@ -509,6 +551,10 @@ class DetectionServer:
                             RuntimeError(f"scoring failed: {exc}"))
                 continue
             for pending, updates in zip(flush, answers):
+                if pending.future.done():
+                    # Deadline expired: the request already answered
+                    # ``timeout`` — drop the late result.
+                    continue
                 if isinstance(updates, Exception):
                     pending.future.set_exception(updates)
                 else:
@@ -557,6 +603,8 @@ class DetectionServer:
         (buffers were already touched — partial retry would
         double-ingest).
         """
+        if faults.enabled:
+            faults.point("serving.flush")
         per_stream: Dict[str, List[_Pending]] = {}
         for pending in flush:
             per_stream.setdefault(pending.stream, []).append(pending)

@@ -32,6 +32,16 @@ The coordinator is the fleet's single build authority:
   if still waiting, or stopped before its next basic model if running —
   CPU is released immediately instead of finishing a result nobody will
   serve.
+* **Retry & circuit breaking** (optional) — with a ``retry`` policy
+  (:class:`repro.runtime.supervisor.RetryPolicy`), a failed build is
+  retried on its own build thread after an exponential-backoff wait
+  (interruptible: cancellation during the backoff aborts the retry).
+  With a ``breaker_factory``, each distinct ensemble gets a
+  :class:`~repro.runtime.supervisor.CircuitBreaker`: after repeated
+  build failures new submissions for that ensemble fail **fast** with
+  :class:`~repro.runtime.supervisor.BreakerOpen` — no training CPU is
+  burned on a refresher that fails deterministically — until a cooldown
+  elapses and the next drift trigger is admitted as a half-open probe.
 
 Streams talk to the coordinator through :meth:`RefreshCoordinator.client`
 which returns a :class:`CoordinatedRefreshClient` — a drop-in for
@@ -57,9 +67,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..core.ensemble import TrainingCancelled
 from ..obs import default_registry, default_tracer
 from .worker import REFIRE_POLICIES, RefreshHandle, _BuildConsumer
+
+# repro.runtime.supervisor (BreakerOpen, BREAKER_STATES) is imported
+# lazily inside the methods that need it: repro.runtime.broker imports
+# this module at load time, so a top-level import here would be circular.
 
 ADMISSION_POLICIES = ("fifo", "priority")
 
@@ -74,7 +89,9 @@ class _CoordinatorTelemetry:
     """
 
     __slots__ = ("enabled", "requests", "deduped", "admitted", "completed",
-                 "failed", "cancelled", "queue_depth", "builds_running")
+                 "failed", "cancelled", "retried", "rejected",
+                 "breaker_state", "retry_delay", "queue_depth",
+                 "builds_running")
 
     def __init__(self, registry):
         self.enabled = registry.enabled
@@ -88,6 +105,12 @@ class _CoordinatorTelemetry:
         self.failed = registry.counter("repro_coordinator_failed_total")
         self.cancelled = registry.counter(
             "repro_coordinator_cancelled_total")
+        self.retried = registry.counter("repro_coordinator_retried_total")
+        self.rejected = registry.counter(
+            "repro_coordinator_breaker_rejected_total")
+        self.breaker_state = registry.gauge("repro_breaker_state")
+        self.retry_delay = registry.histogram(
+            "repro_coordinator_retry_delay_seconds")
         self.queue_depth = registry.gauge("repro_coordinator_queue_depth")
         self.builds_running = registry.gauge(
             "repro_coordinator_builds_running")
@@ -113,8 +136,11 @@ class CoordinatorStats:
     ends in exactly one of ``n_completed`` / ``n_failed`` /
     ``n_cancelled``.  ``max_concurrent`` is the peak number of builds
     that ever ran at once — bounded by ``max_concurrent_builds`` by
-    construction.  Derived views (dedup ratio, builds saved, cap
-    adherence) live on :func:`repro.metrics.events.fleet_refresh_report`.
+    construction.  ``n_retried`` counts backoff retries of failed build
+    attempts (a build that fails twice then succeeds contributes two
+    retries and one completion).  Derived views (dedup ratio, builds
+    saved, cap adherence) live on
+    :func:`repro.metrics.events.fleet_refresh_report`.
     """
     n_requests: int
     n_deduped: int
@@ -125,6 +151,7 @@ class CoordinatorStats:
     n_queued: int
     n_running: int
     max_concurrent: int
+    n_retried: int = 0
 
 
 class _CoordinatedBuild:
@@ -146,6 +173,7 @@ class _CoordinatedBuild:
         self.seq = seq
         self.status = "queued"              # -> building -> ready/failed/
         #                                        cancelled
+        self.breaker = None                 # the leader ensemble's breaker
         self.cancel = threading.Event()
         self.subscribers: List[RefreshHandle] = []
         # The leader's (root_span, admission_span) trace pair, if any;
@@ -256,6 +284,26 @@ class RefreshCoordinator:
     policy:                ``"fifo"`` (submission order) or
                            ``"priority"`` (highest client priority first,
                            FIFO among equals).
+    retry:                 optional
+                           :class:`~repro.runtime.supervisor.RetryPolicy`;
+                           a failed build attempt is retried on its own
+                           build thread after the policy's backoff
+                           (``None`` — the default — fails immediately,
+                           the pre-existing behaviour).
+    breaker_factory:       optional zero-argument callable returning a
+                           fresh
+                           :class:`~repro.runtime.supervisor.CircuitBreaker`
+                           per distinct ensemble; open breakers fail new
+                           submissions for that ensemble fast with
+                           :class:`~repro.runtime.supervisor.BreakerOpen`
+                           (the handle resolves ``failed``, the stream
+                           keeps serving), and the next drift trigger
+                           after the cooldown runs as the half-open
+                           probe.
+
+    Like ``build_runner``, ``retry`` and ``breaker_factory`` are runtime
+    wiring, not state: checkpoints persist the ``n_retried`` counter but
+    neither policy object (re-attach them after ``from_state``).
 
     ``on_build_start`` / ``on_build_done`` are optional callbacks invoked
     *on the build thread* with the internal build record — event hooks
@@ -278,7 +326,8 @@ class RefreshCoordinator:
     """
 
     def __init__(self, max_concurrent_builds: int = 1,
-                 policy: str = "fifo", build_runner=None):
+                 policy: str = "fifo", build_runner=None,
+                 retry=None, breaker_factory=None):
         if max_concurrent_builds < 1:
             raise ValueError(f"max_concurrent_builds must be >= 1, "
                              f"got {max_concurrent_builds}")
@@ -296,6 +345,12 @@ class RefreshCoordinator:
         # are runtime wiring, not state: checkpoints neither persist nor
         # restore them (re-attach one after from_state).
         self.build_runner = build_runner
+        self.retry = retry
+        self.breaker_factory = breaker_factory
+        # Per-ensemble breakers, keyed by ensemble identity — the same
+        # notion the dedup uses.  Entries live as long as the
+        # coordinator; fleets hold their ensembles for their lifetime.
+        self._breakers: Dict[int, object] = {}
         self.on_build_start: Optional[Callable] = None
         self.on_build_done: Optional[Callable] = None
         self._lock = threading.Lock()
@@ -312,6 +367,7 @@ class RefreshCoordinator:
         self._n_completed = 0
         self._n_failed = 0
         self._n_cancelled = 0
+        self._n_retried = 0
         self._max_concurrent = 0
 
     # ------------------------------------------------------------------
@@ -348,7 +404,8 @@ class RefreshCoordinator:
                 n_cancelled=self._n_cancelled,
                 n_queued=len(self._queue),
                 n_running=len(self._running),
-                max_concurrent=self._max_concurrent)
+                max_concurrent=self._max_concurrent,
+                n_retried=self._n_retried)
 
     def shutdown(self) -> None:
         """Cancel every queued and running build and refuse new submits.
@@ -426,6 +483,7 @@ class RefreshCoordinator:
                     "n_completed": self._n_completed,
                     "n_failed": self._n_failed,
                     "n_cancelled": self._n_cancelled,
+                    "n_retried": self._n_retried,
                     "max_concurrent": self._max_concurrent,
                 },
             }
@@ -444,6 +502,7 @@ class RefreshCoordinator:
         coordinator._n_completed = int(counters.get("n_completed", 0))
         coordinator._n_failed = int(counters.get("n_failed", 0))
         coordinator._n_cancelled = int(counters.get("n_cancelled", 0))
+        coordinator._n_retried = int(counters.get("n_retried", 0))
         coordinator._max_concurrent = int(counters.get("max_concurrent", 0))
         return coordinator
 
@@ -475,16 +534,57 @@ class RefreshCoordinator:
                         trace[1].set_attribute("deduped", True)
                         trace[1].end()
                     return handle
+            breaker = self._breaker_for_locked(ensemble)
+            if breaker is not None and not breaker.allow():
+                # Fail fast: this ensemble's refresher has failed
+                # repeatedly and its cooldown has not elapsed.  The
+                # handle resolves failed (the stream observes a failed
+                # refresh at its next boundary and keeps serving); no
+                # training CPU is spent.  allow() itself admits the
+                # half-open probe once the cooldown passes.
+                from ..runtime.supervisor import BreakerOpen
+                self._obs.rejected.inc()
+                self._set_breaker_gauge(breaker)
+                handle._finish("failed", error=BreakerOpen(
+                    "refresh build rejected: this ensemble's circuit "
+                    "breaker is open after repeated build failures; the "
+                    "next trigger after the cooldown runs as a probe"))
+                handle.done.set()
+                if trace is not None:
+                    trace[1].set_attribute("breaker_rejected", True)
+                    trace[1].end()
+                return handle
             build = _CoordinatedBuild(ensemble, history, client.refresher,
                                       trigger_index, generation,
                                       priority=client.priority,
                                       seq=self._seq, trace=trace)
+            build.breaker = breaker
             self._seq += 1
             build.subscribers.append(handle)
             self._queue.append(build)
             self._obs.queue_depth.set(len(self._queue))
             self._pump_locked()
         return handle
+
+    def _breaker_for_locked(self, ensemble):
+        """This ensemble's circuit breaker (created on first submission),
+        or None when breaking is not configured.  Caller holds the lock;
+        keyed by ensemble identity, the dedup notion of sameness."""
+        if self.breaker_factory is None:
+            return None
+        key = id(ensemble)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self.breaker_factory()
+            self._breakers[key] = breaker
+        return breaker
+
+    def _set_breaker_gauge(self, breaker) -> None:
+        """Mirror a breaker's state onto the ``repro_breaker_state``
+        gauge (0 closed / 1 open / 2 half_open, most recent change
+        wins)."""
+        from ..runtime.supervisor import BREAKER_STATES
+        self._obs.breaker_state.set(BREAKER_STATES.get(breaker.state, -1))
 
     def _pump_locked(self) -> None:
         """Admit queued builds while the pool has room.  Caller holds
@@ -532,11 +632,35 @@ class RefreshCoordinator:
                 # Inside the guard: a raising telemetry hook fails the
                 # build instead of wedging every subscriber in 'building'.
                 self.on_build_start(build)
-            if build_span is not None:
-                with tracer.use(build_span):
-                    replacement, report = self._call_build(build)
-            else:
-                replacement, report = self._call_build(build)
+            attempt = 0
+            while True:
+                try:
+                    if build_span is not None:
+                        with tracer.use(build_span):
+                            replacement, report = self._call_build(build)
+                    else:
+                        replacement, report = self._call_build(build)
+                    break
+                except TrainingCancelled:
+                    raise
+                except Exception:
+                    retry = self.retry
+                    if (retry is None or attempt >= retry.max_retries
+                            or build.cancel.is_set() or self._shutdown):
+                        raise
+                    delay = retry.delay_for(attempt)
+                    attempt += 1
+                    with self._lock:
+                        self._n_retried += 1
+                    self._obs.retried.inc()
+                    self._obs.retry_delay.observe(delay)
+                    if build_span is not None:
+                        build_span.set_attribute("retries", attempt)
+                    # Interruptible backoff: a cancellation arriving
+                    # during the wait aborts the retry immediately
+                    # instead of sleeping it out.
+                    if build.cancel.wait(delay):
+                        raise TrainingCancelled(0)
             # Pack the fused inference weights on this build thread so
             # none of the subscribers' serving threads pays the packing
             # cost at its boundary swap (no-op for the canonical
@@ -572,6 +696,19 @@ class RefreshCoordinator:
                 build.status = "ready"
                 self._n_completed += 1
                 self._obs.completed.inc()
+            if build.breaker is not None \
+                    and build.status in ("ready", "failed"):
+                # Only terminal build outcomes move the breaker;
+                # cancellations say nothing about the refresher's
+                # health.  A half-open probe resolves here: success
+                # closes the breaker, failure re-opens it with a fresh
+                # cooldown.  (The breaker lock is a leaf — safe under
+                # ours.)
+                if build.status == "ready":
+                    build.breaker.record_success()
+                else:
+                    build.breaker.record_failure()
+                self._set_breaker_gauge(build.breaker)
             self._obs.builds_running.set(len(self._running))
             if build_span is not None:
                 build_span.set_attribute("status", build.status)
@@ -607,6 +744,8 @@ class RefreshCoordinator:
     def _call_build(self, build: _CoordinatedBuild):
         """Invoke the leader's ``build``, forwarding the cancel flag when
         the refresher supports it (duck-typed stand-ins may not)."""
+        if faults.enabled:
+            faults.point("coordinator.build")
         if self.build_runner is not None:
             kwargs = dict(generation=build.generation,
                           trigger_index=build.trigger_index,

@@ -26,6 +26,7 @@ def _global_state_hygiene():
     registry/tracer, and the shared-memory segment namespace.  Each is
     snapshotted before the test and restored after, so a test that pins
     or swaps them cannot skew a later test's behaviour (or timings)."""
+    from repro import faults
     from repro.core.fused import FusedEnsembleScorer
     from repro.obs import registry as obs_registry
     from repro.obs import tracing as obs_tracing
@@ -40,6 +41,7 @@ def _global_state_hygiene():
     obs_registry.set_default_registry(registry)
     obs_tracing.set_default_tracer(tracer)
     shm.set_segment_namespace(namespace)
+    faults.clear_plan()      # a leaked fault plan fires in later tests
 
 
 @pytest.fixture
